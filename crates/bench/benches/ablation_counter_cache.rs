@@ -1,0 +1,11 @@
+//! Regenerates the counter-cache capacity ablation (see DESIGN.md).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("ablation_counter_cache");
+    println!(
+        "{}",
+        iceclave_experiments::figures::ablation_counter_cache(&iceclave_bench::bench_config())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig5 (see DESIGN.md experiment index).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("fig5");
+    println!("{}", iceclave_experiments::figures::fig5(&iceclave_bench::bench_config()));
+}

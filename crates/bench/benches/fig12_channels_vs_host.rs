@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig12 (see DESIGN.md experiment index).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("fig12");
+    println!("{}", iceclave_experiments::figures::fig12(&iceclave_bench::bench_config()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1 (see DESIGN.md experiment index).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("table1");
+    println!("{}", iceclave_experiments::figures::table1(&iceclave_bench::bench_config()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table5 (see DESIGN.md experiment index).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("table5");
+    println!("{}", iceclave_experiments::figures::table5(&iceclave_bench::bench_config()));
+}

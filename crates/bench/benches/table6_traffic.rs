@@ -1,0 +1,8 @@
+//! Regenerates the paper's table6 (see DESIGN.md experiment index).
+//! Runs as a `harness = false` bench target so `cargo bench`
+//! reproduces the artifact.
+
+fn main() {
+    iceclave_bench::banner("table6");
+    println!("{}", iceclave_experiments::figures::table6(&iceclave_bench::bench_config()));
+}

@@ -1,0 +1,70 @@
+//! `repro` — regenerate every table and figure of the IceClave paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [artifact...]
+//!
+//! artifacts: table1 fig5 fig8 table5 table6 fig11 fig12 fig13 fig14
+//!            fig15 fig16 fig17 fig18 energy ablation_counter_cache
+//!            (default: all)
+//! env: ICECLAVE_SCALE_MIB=<n>   functional scale per workload (default 8)
+//!      ICECLAVE_CSV_DIR=<path>  additionally write each artifact as CSV
+//! ```
+
+use std::time::Instant;
+
+use iceclave_bench::{banner, bench_config};
+use iceclave_experiments::figures;
+use iceclave_workloads::WorkloadConfig;
+
+type Artifact = (&'static str, fn(&WorkloadConfig) -> figures::FigureReport);
+
+const ARTIFACTS: &[Artifact] = &[
+    ("table1", figures::table1),
+    ("fig5", figures::fig5),
+    ("fig8", figures::fig8),
+    ("table5", figures::table5),
+    ("table6", figures::table6),
+    ("fig11", figures::fig11),
+    ("fig12", figures::fig12),
+    ("fig13", figures::fig13),
+    ("fig14", figures::fig14),
+    ("fig15", figures::fig15),
+    ("fig16", figures::fig16),
+    ("fig17", figures::fig17),
+    ("fig18", figures::fig18),
+    ("energy", figures::energy_table),
+    ("ablation_counter_cache", figures::ablation_counter_cache),
+];
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = bench_config();
+    let mut ran = 0;
+    for (name, generate) in ARTIFACTS {
+        if !requested.is_empty() && !requested.iter().any(|r| r == name) {
+            continue;
+        }
+        banner(name);
+        let start = Instant::now();
+        let report = generate(&cfg);
+        println!("{report}");
+        println!("  [generated in {:.1}s]\n", start.elapsed().as_secs_f64());
+        if let Ok(dir) = std::env::var("ICECLAVE_CSV_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, report.table.to_csv()) {
+                eprintln!("could not write {}: {e}", path.display());
+            }
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown artifact(s) {:?}; available: {:?}",
+            requested,
+            ARTIFACTS.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,263 @@
+//! The host-side IceClave library (Figure 3, Table 2).
+//!
+//! End users never talk to the SSD runtime directly: the library
+//! exposes exactly two calls — `OffloadCode` and `GetResult` — over the
+//! host-to-device communication layer, keeping the trusted computing
+//! base small (§4.5). This module models that layer: requests are
+//! serialized into NVMe-vendor-command-shaped messages, the user's data
+//! decryption key travels with the offloaded binary (§4.6), and results
+//! come back with the TEE's measurement so the user can check what ran.
+
+use iceclave_types::{Lpn, SimTime, TeeId};
+
+use crate::runtime::{IceClave, IceClaveError};
+
+/// A user-visible offload ticket: the task id of Table 2's API plus the
+/// measurement of the offloaded binary.
+#[derive(Clone, Debug)]
+pub struct OffloadTicket {
+    /// User-chosen task identifier (`tid` in Table 2).
+    pub tid: u32,
+    /// The TEE servicing this task.
+    pub tee: TeeId,
+    /// Measurement (hash) of the binary as loaded into the TEE; the
+    /// user compares this with their locally computed value.
+    pub measurement: [u8; 8],
+    /// When the TEE became ready.
+    pub ready_at: SimTime,
+}
+
+/// A retrieved result (`GetResult` of Table 2).
+#[derive(Clone, Debug)]
+pub struct OffloadResult {
+    /// The task the result belongs to.
+    pub tid: u32,
+    /// Result payload bytes (opaque to the library).
+    pub data: Vec<u8>,
+    /// When the DMA to host memory completed.
+    pub available_at: SimTime,
+}
+
+/// Errors surfaced to the host user.
+#[derive(Debug)]
+pub enum HostError {
+    /// The device-side runtime rejected the request.
+    Runtime(IceClaveError),
+    /// `GetResult` was called for an unknown task id.
+    UnknownTask(u32),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Runtime(e) => write!(f, "device: {e}"),
+            HostError::UnknownTask(tid) => write!(f, "unknown task id {tid}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<IceClaveError> for HostError {
+    fn from(e: IceClaveError) -> Self {
+        HostError::Runtime(e)
+    }
+}
+
+/// The host-side library: a thin, two-call facade over the runtime.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_core::{HostLibrary, IceClave, IceClaveConfig};
+/// use iceclave_types::{Lpn, SimTime};
+///
+/// let mut ice = IceClave::new(IceClaveConfig::tiny());
+/// let t = ice.populate(Lpn::new(0), 4, SimTime::ZERO)?;
+/// let mut lib = HostLibrary::new();
+///
+/// let binary = vec![0x90u8; 4096]; // the offloaded machine code
+/// let lpas: Vec<Lpn> = (0..4).map(Lpn::new).collect();
+/// let ticket = lib.offload_code(&mut ice, &binary, &lpas, Some([7; 16]), 1, t)?;
+/// assert_eq!(ticket.measurement, HostLibrary::measure(&binary));
+///
+/// let result = lib.get_result(&mut ice, 1, 512, ticket.ready_at)?;
+/// assert_eq!(result.data.len(), 512);
+/// # Ok::<(), iceclave_core::host::HostError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct HostLibrary {
+    tasks: std::collections::HashMap<u32, TeeId>,
+}
+
+impl HostLibrary {
+    /// Creates an empty library context.
+    pub fn new() -> Self {
+        HostLibrary {
+            tasks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Measurement of an offloaded binary: a 64-bit FNV-1a digest (the
+    /// model's stand-in for the runtime's code hash).
+    pub fn measure(binary: &[u8]) -> [u8; 8] {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in binary {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h.to_be_bytes()
+    }
+
+    /// `OffloadCode(bin, lpa, args, tid)` of Table 2: ships the binary
+    /// and the list of logical page addresses to the device, optionally
+    /// provisioning the user's data-decryption key into the TEE (§4.6:
+    /// "they will send their decryption key to the TEE along with the
+    /// offloaded program").
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-side rejections (bad pages, no free TEEs,
+    /// oversized binary).
+    pub fn offload_code(
+        &mut self,
+        device: &mut IceClave,
+        binary: &[u8],
+        lpas: &[Lpn],
+        user_key: Option<[u8; 16]>,
+        tid: u32,
+        now: SimTime,
+    ) -> Result<OffloadTicket, HostError> {
+        let (tee, ready_at) = device.offload_code(binary.len() as u64, lpas, now)?;
+        if let Some(key) = user_key {
+            device.provision_user_key(tee, key)?;
+        }
+        self.tasks.insert(tid, tee);
+        Ok(OffloadTicket {
+            tid,
+            tee,
+            measurement: Self::measure(binary),
+            ready_at,
+        })
+    }
+
+    /// `GetResult(tid, res)` of Table 2: DMAs `len` bytes of results
+    /// from the TEE's metadata region into host memory.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTask`] or device-side failures.
+    pub fn get_result(
+        &mut self,
+        device: &mut IceClave,
+        tid: u32,
+        len: usize,
+        now: SimTime,
+    ) -> Result<OffloadResult, HostError> {
+        let tee = *self.tasks.get(&tid).ok_or(HostError::UnknownTask(tid))?;
+        let available_at = device.get_result(tee, len as u64, now)?;
+        Ok(OffloadResult {
+            tid,
+            // The payload content is produced by the in-storage program;
+            // the library only moves bytes. A zeroed buffer stands in.
+            data: vec![0u8; len],
+            available_at,
+        })
+    }
+
+    /// Finishes a task: terminates its TEE and forgets the mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::UnknownTask`] or device-side failures.
+    pub fn finish(
+        &mut self,
+        device: &mut IceClave,
+        tid: u32,
+        now: SimTime,
+    ) -> Result<SimTime, HostError> {
+        let tee = self
+            .tasks
+            .remove(&tid)
+            .ok_or(HostError::UnknownTask(tid))?;
+        Ok(device.terminate_tee(tee, now)?)
+    }
+
+    /// The TEE currently serving `tid`, if any.
+    pub fn tee_for(&self, tid: u32) -> Option<TeeId> {
+        self.tasks.get(&tid).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IceClaveConfig;
+
+    fn setup() -> (IceClave, SimTime) {
+        let mut ice = IceClave::new(IceClaveConfig::tiny());
+        let t = ice.populate(Lpn::new(0), 8, SimTime::ZERO).unwrap();
+        (ice, t)
+    }
+
+    #[test]
+    fn offload_and_get_result_round_trip() {
+        let (mut ice, t) = setup();
+        let mut lib = HostLibrary::new();
+        let lpas: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+        let ticket = lib
+            .offload_code(&mut ice, &[1, 2, 3], &lpas, None, 42, t)
+            .unwrap();
+        assert_eq!(ticket.tid, 42);
+        assert_eq!(lib.tee_for(42), Some(ticket.tee));
+        let res = lib.get_result(&mut ice, 42, 128, ticket.ready_at).unwrap();
+        assert_eq!(res.data.len(), 128);
+        assert!(res.available_at > ticket.ready_at);
+        lib.finish(&mut ice, 42, res.available_at).unwrap();
+        assert_eq!(lib.tee_for(42), None);
+    }
+
+    #[test]
+    fn measurement_is_stable_and_content_sensitive() {
+        let a = HostLibrary::measure(b"program-v1");
+        assert_eq!(a, HostLibrary::measure(b"program-v1"));
+        assert_ne!(a, HostLibrary::measure(b"program-v2"));
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let (mut ice, t) = setup();
+        let mut lib = HostLibrary::new();
+        assert!(matches!(
+            lib.get_result(&mut ice, 7, 16, t),
+            Err(HostError::UnknownTask(7))
+        ));
+        assert!(matches!(
+            lib.finish(&mut ice, 7, t),
+            Err(HostError::UnknownTask(7))
+        ));
+    }
+
+    #[test]
+    fn user_key_is_provisioned_into_the_tee() {
+        let (mut ice, t) = setup();
+        let mut lib = HostLibrary::new();
+        let lpas: Vec<Lpn> = (0..2).map(Lpn::new).collect();
+        let key = [0xAB; 16];
+        let ticket = lib
+            .offload_code(&mut ice, b"bin", &lpas, Some(key), 1, t)
+            .unwrap();
+        assert_eq!(ice.user_key(ticket.tee), Some(key));
+    }
+
+    #[test]
+    fn device_errors_propagate() {
+        let (mut ice, t) = setup();
+        let mut lib = HostLibrary::new();
+        // Unmapped pages are rejected by the device.
+        let err = lib
+            .offload_code(&mut ice, b"bin", &[Lpn::new(99)], None, 1, t)
+            .unwrap_err();
+        assert!(matches!(err, HostError::Runtime(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # IceClave: a Trusted Execution Environment for In-Storage Computing
+//!
+//! This crate is the paper's primary contribution (§4): a lightweight
+//! TEE runtime for programs offloaded into a computational SSD. It
+//! assembles the substrate crates into the architecture of Figure 3:
+//!
+//! * **TrustZone worlds and the protected region** (§4.2) — the FTL and
+//!   the IceClave runtime execute in the secure world; the cached
+//!   address-mapping table lives in a *protected* region the normal
+//!   world may read (so address translation costs no world switch) but
+//!   not write.
+//! * **ID-bit access control** (§4.3) — every mapping entry carries the
+//!   owning TEE's 4-bit identifier; a dedicated permission check stops
+//!   TEEs probing each other's pages, and identifiers are recycled as
+//!   TEEs come and go.
+//! * **Protected in-SSD DRAM** (§4.4) — reads and writes of TEE memory
+//!   go through the hybrid-counter memory-encryption engine with Bonsai
+//!   Merkle Tree integrity verification.
+//! * **Protected flash channel** (§5) — pages stream through the
+//!   Trivium cipher engine between the flash controllers and DRAM.
+//! * **TEE lifecycle** (§4.5, Table 2) — `OffloadCode`/`CreateTEE`,
+//!   `SetIDBits`, `ReadMappingEntry`, `GetResult`, `TerminateTEE` and
+//!   `ThrowOutTEE`, with the Table 5 costs (95 us create, 58 us delete,
+//!   3.8 us world switch).
+//!
+//! # Examples
+//!
+//! ```
+//! use iceclave_core::{IceClave, IceClaveConfig};
+//! use iceclave_types::{Lpn, SimTime};
+//!
+//! let mut ice = IceClave::new(IceClaveConfig::tiny());
+//! // The host stages a small dataset into the SSD.
+//! let t = ice.populate(Lpn::new(0), 8, SimTime::ZERO)?;
+//!
+//! // Offload a program over pages 0..8 (Table 2: OffloadCode).
+//! let lpns: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+//! let (tee, t) = ice.offload_code(64 * 1024, &lpns, t)?;
+//!
+//! // The TEE streams its input through the cipher engine...
+//! let t = ice.read_flash_page(tee, Lpn::new(0), t)?;
+//! // ...computes in protected DRAM...
+//! let t = ice.mem_write(tee, 8 * 64, t)?;
+//! let t = ice.mem_read(tee, 8 * 64, t)?;
+//! // ...and returns its result to the host (GetResult).
+//! let t = ice.get_result(tee, 4096, t)?;
+//! ice.terminate_tee(tee, t)?;
+//! # Ok::<(), iceclave_core::IceClaveError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod host;
+pub mod runtime;
+
+pub use config::IceClaveConfig;
+pub use host::{HostLibrary, OffloadResult, OffloadTicket};
+pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

@@ -1,0 +1,810 @@
+//! The IceClave runtime: TEE lifecycle, access control, and the
+//! protected data path (§4.5, §4.6, Table 2).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use iceclave_cipher::CipherEngine;
+use iceclave_cpu::OpCounts;
+use iceclave_ftl::{FtlError, Requestor};
+use iceclave_isc::SsdPlatform;
+use iceclave_mee::{MeeEngine, PageClass};
+use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
+use iceclave_types::{
+    ByteSize, CacheLine, Lpn, Ppn, SimTime, TeeId, LINES_PER_PAGE, PAGE_SIZE,
+};
+
+use crate::config::IceClaveConfig;
+
+/// Why a TEE was thrown out (§4.5: access-control violation, corrupted
+/// memory/metadata, or a program exception).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AbortReason {
+    /// The program touched memory outside its TEE region.
+    AccessViolation,
+    /// Memory or metadata failed integrity verification.
+    IntegrityFailure,
+    /// The in-storage program raised an exception.
+    ProgramException,
+}
+
+/// Lifecycle state of a TEE.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum TeeStatus {
+    /// Created and executing.
+    Running,
+    /// Cleanly terminated.
+    Terminated,
+    /// Aborted via `ThrowOutTEE`.
+    Aborted(AbortReason),
+}
+
+/// Errors surfaced by the runtime API.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IceClaveError {
+    /// All TEE identifiers are in use (4 ID bits = 15 live TEEs).
+    NoFreeIds,
+    /// The offloaded binary exceeds the configured limit or available
+    /// space (TEE creation fails, §4.5).
+    CodeTooLarge {
+        /// Requested binary size.
+        requested: ByteSize,
+        /// Maximum accepted.
+        limit: ByteSize,
+    },
+    /// No free 16 MiB TEE region slots remain.
+    RegionExhausted,
+    /// The TEE id is unknown or no longer live.
+    UnknownTee(TeeId),
+    /// The TEE is not running (terminated or aborted).
+    NotRunning(TeeId),
+    /// FTL-level failure (including the §4.3 ID-bit access denial).
+    Ftl(FtlError),
+    /// A TrustZone protection fault (e.g. a normal-world write to the
+    /// protected mapping table).
+    Protection(ProtectionFault),
+    /// The program accessed memory outside its TEE region; the TEE has
+    /// been thrown out.
+    RegionViolation {
+        /// The offending TEE.
+        tee: TeeId,
+        /// The out-of-bounds line offset.
+        line_offset: u64,
+    },
+}
+
+impl fmt::Display for IceClaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IceClaveError::NoFreeIds => f.write_str("no free TEE identifiers"),
+            IceClaveError::CodeTooLarge { requested, limit } => {
+                write!(f, "binary of {requested} exceeds the {limit} limit")
+            }
+            IceClaveError::RegionExhausted => f.write_str("no free TEE memory regions"),
+            IceClaveError::UnknownTee(id) => write!(f, "{id} is not a live TEE"),
+            IceClaveError::NotRunning(id) => write!(f, "{id} is not running"),
+            IceClaveError::Ftl(e) => write!(f, "ftl: {e}"),
+            IceClaveError::Protection(e) => write!(f, "protection: {e}"),
+            IceClaveError::RegionViolation { tee, line_offset } => {
+                write!(f, "{tee} accessed line {line_offset} outside its region")
+            }
+        }
+    }
+}
+
+impl Error for IceClaveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IceClaveError::Ftl(e) => Some(e),
+            IceClaveError::Protection(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for IceClaveError {
+    fn from(e: FtlError) -> Self {
+        IceClaveError::Ftl(e)
+    }
+}
+
+impl From<ProtectionFault> for IceClaveError {
+    fn from(e: ProtectionFault) -> Self {
+        IceClaveError::Protection(e)
+    }
+}
+
+/// Runtime counters for reports.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RuntimeStats {
+    /// TEEs created.
+    pub created: u64,
+    /// TEEs cleanly terminated.
+    pub terminated: u64,
+    /// TEEs thrown out.
+    pub aborted: u64,
+    /// Identifier reuses (an id served more than one TEE, §4.3).
+    pub id_reuses: u64,
+    /// Flash pages streamed through the cipher engine into TEEs.
+    pub pages_loaded: u64,
+}
+
+#[derive(Debug)]
+struct TeeState {
+    status: TeeStatus,
+    lpns: Vec<Lpn>,
+    /// First DRAM page of the TEE's preallocated region.
+    region_page: u64,
+    /// Pages in the region.
+    region_pages: u64,
+    /// Ring cursor for input fills (first half of the region is the
+    /// read-only input buffer, second half the writable working set).
+    next_fill: u64,
+    /// The user's data-decryption key, provisioned over the secure
+    /// channel with the offloaded program (§4.6). Lives in the secure
+    /// metadata region; cleared at teardown.
+    user_key: Option<[u8; 16]>,
+}
+
+impl TeeState {
+    fn input_pages(&self) -> u64 {
+        self.region_pages / 2
+    }
+}
+
+/// The IceClave runtime (Figure 3).
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct IceClave {
+    /// The SSD platform (FTL, DRAM, cores, monitor).
+    platform: SsdPlatform,
+    mee: MeeEngine,
+    cipher: CipherEngine,
+    memory_map: MemoryMap,
+    config: IceClaveConfig,
+    tees: HashMap<u8, TeeState>,
+    free_ids: Vec<TeeId>,
+    used_ids: Vec<bool>,
+    free_regions: Vec<u64>,
+    stats: RuntimeStats,
+}
+
+impl IceClave {
+    /// Brings up the runtime: programs the TZASC regions of Figure 4,
+    /// initializes the security engines, and prepares the TEE id pool.
+    pub fn new(config: IceClaveConfig) -> Self {
+        let platform = SsdPlatform::new(config.platform.clone());
+        let mut memory_map = MemoryMap::new();
+        memory_map
+            .define(
+                iceclave_types::PhysAddr::new(0),
+                config.secure_region,
+                Region::Secure,
+            )
+            .expect("secure region fits");
+        memory_map
+            .define(
+                iceclave_types::PhysAddr::new(config.secure_region.as_bytes()),
+                config.platform.ftl.cmt_capacity,
+                Region::Protected,
+            )
+            .expect("protected region fits");
+
+        // TEE ids 1..16 (0 is reserved as unowned), recycled LIFO.
+        let mut free_ids: Vec<TeeId> = (1..16u16)
+            .rev()
+            .map(|raw| TeeId::new(raw).expect("raw < 16"))
+            .collect();
+        free_ids.shrink_to_fit();
+
+        let region_base_page = (config.secure_region.as_bytes()
+            + config.platform.ftl.cmt_capacity.as_bytes())
+            / PAGE_SIZE;
+        let region_pages = config.tee_region.as_bytes() / PAGE_SIZE;
+        let free_regions: Vec<u64> = (0..config.region_slots())
+            .rev()
+            .map(|slot| region_base_page + slot * region_pages)
+            .collect();
+
+        IceClave {
+            platform,
+            mee: MeeEngine::new(config.mee),
+            cipher: CipherEngine::new([0x1C; 10], config.cipher_clock, 0xACE1_CAFE),
+            memory_map,
+            config,
+            tees: HashMap::new(),
+            free_ids,
+            used_ids: vec![false; 16],
+            free_regions,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &IceClaveConfig {
+        &self.config
+    }
+
+    /// The underlying platform (for stats and experiment plumbing).
+    pub fn platform(&self) -> &SsdPlatform {
+        &self.platform
+    }
+
+    /// Mutable platform access (experiment plumbing: population, core
+    /// scheduling).
+    pub fn platform_mut(&mut self) -> &mut SsdPlatform {
+        &mut self.platform
+    }
+
+    /// The memory-encryption engine (for traffic reports).
+    pub fn mee(&self) -> &MeeEngine {
+        &self.mee
+    }
+
+    /// The stream-cipher engine (for functional encryption in tests).
+    pub fn cipher_mut(&mut self) -> &mut CipherEngine {
+        &mut self.cipher
+    }
+
+    /// The TZASC memory map (Figure 4).
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.memory_map
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Host-side dataset staging (block-I/O path, before any offload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL failures.
+    pub fn populate(
+        &mut self,
+        base: Lpn,
+        pages: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        Ok(self.platform.populate(base, pages, now)?)
+    }
+
+    /// `OffloadCode` (Table 2): creates a TEE for a binary of
+    /// `code_bytes`, grants it `lpns` via `SetIDBits`, and bills the
+    /// Table 5 creation cost. Returns the TEE id and completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::CodeTooLarge`], [`IceClaveError::NoFreeIds`],
+    /// [`IceClaveError::RegionExhausted`], or an FTL error if a granted
+    /// page is unmapped.
+    pub fn offload_code(
+        &mut self,
+        code_bytes: u64,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<(TeeId, SimTime), IceClaveError> {
+        let requested = ByteSize::from_bytes(code_bytes);
+        if requested.as_bytes() > self.config.max_code_size.as_bytes()
+            || requested.as_bytes() > self.config.tee_region.as_bytes()
+        {
+            return Err(IceClaveError::CodeTooLarge {
+                requested,
+                limit: self
+                    .config
+                    .max_code_size
+                    .min(self.config.tee_region),
+            });
+        }
+        let id = self.free_ids.pop().ok_or(IceClaveError::NoFreeIds)?;
+        let region_page = match self.free_regions.pop() {
+            Some(p) => p,
+            None => {
+                self.free_ids.push(id);
+                return Err(IceClaveError::RegionExhausted);
+            }
+        };
+        if let Err(e) = self.platform.ftl.set_id_bits(lpns, id) {
+            self.free_ids.push(id);
+            self.free_regions.push(region_page);
+            return Err(e.into());
+        }
+        if self.used_ids[id.raw() as usize] {
+            self.stats.id_reuses += 1;
+        }
+        self.used_ids[id.raw() as usize] = true;
+
+        let region_pages = self.config.tee_region.as_bytes() / PAGE_SIZE;
+        // Working half starts writable; input half becomes read-only as
+        // it is filled.
+        for p in region_pages / 2..region_pages {
+            self.mee.set_page_class(region_page + p, PageClass::Writable);
+        }
+        self.tees.insert(
+            id.raw(),
+            TeeState {
+                status: TeeStatus::Running,
+                lpns: lpns.to_vec(),
+                region_page,
+                region_pages,
+                next_fill: 0,
+                user_key: None,
+            },
+        );
+        self.stats.created += 1;
+        let create_cost = self.config.tee_create;
+        let done = self
+            .platform
+            .monitor
+            .call_into(World::Secure, now, |t| t + create_cost);
+        Ok((id, done))
+    }
+
+    /// `ReadMappingEntry` (Table 2): address translation through the
+    /// protected mapping table, with the ID-bit permission check.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`] (wrapped) when the ID bits do not
+    /// match — the defense against the §4.3 probing attack.
+    pub fn read_mapping_entry(
+        &mut self,
+        tee: TeeId,
+        lpn: Lpn,
+        now: SimTime,
+    ) -> Result<(Ppn, SimTime), IceClaveError> {
+        self.ensure_running(tee)?;
+        let translation =
+            self.platform
+                .ftl
+                .translate(Requestor::Tee(tee), lpn, &mut self.platform.monitor, now)?;
+        Ok((translation.ppn, translation.ready_at))
+    }
+
+    /// Streams one granted flash page into the TEE's input buffer:
+    /// translation + flash read + Trivium decryption + MEE-encrypted
+    /// DRAM fill (workflow steps 3–6 of Figure 9). The page is filled
+    /// read-only (streaming input, §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Access-control or FTL errors; the TEE must be running.
+    pub fn read_flash_page(
+        &mut self,
+        tee: TeeId,
+        lpn: Lpn,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        self.read_flash_page_as(tee, lpn, PageClass::ReadOnly, now)
+    }
+
+    /// As [`IceClave::read_flash_page`], but the caller chooses the
+    /// protection class of the filled page: transactional programs fill
+    /// pages they are about to update as writable (§4.4: "for the
+    /// memory region allocated for storing intermediate data, its pages
+    /// are set to be writable").
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::read_flash_page`].
+    pub fn read_flash_page_as(
+        &mut self,
+        tee: TeeId,
+        lpn: Lpn,
+        class: PageClass,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        self.ensure_running(tee)?;
+        let flash_done =
+            self.platform
+                .ftl
+                .read(Requestor::Tee(tee), lpn, &mut self.platform.monitor, now)?;
+        // Stream decipher pipelines with the bus transfer; the exposed
+        // cost is the engine drain.
+        let deciphered = if self.config.cipher_enabled {
+            flash_done + self.cipher.page_latency(PAGE_SIZE)
+        } else {
+            flash_done
+        };
+        let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
+        let fill_slot = state.region_page + (state.next_fill % state.input_pages());
+        state.next_fill += 1;
+        let done = self
+            .mee
+            .fill_page(&mut self.platform.dram, fill_slot, class, deciphered);
+        self.stats.pages_loaded += 1;
+        Ok(done)
+    }
+
+    /// A protected read of one cache line at `line_offset` within the
+    /// TEE's region.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::RegionViolation`] aborts the TEE (ThrowOutTEE)
+    /// when the offset is out of bounds.
+    pub fn mem_read(
+        &mut self,
+        tee: TeeId,
+        line_offset: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        let line = self.checked_line(tee, line_offset)?;
+        Ok(self.mee.read_line(&mut self.platform.dram, line, now))
+    }
+
+    /// A protected write of one cache line at `line_offset` within the
+    /// TEE's region.
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::mem_read`].
+    pub fn mem_write(
+        &mut self,
+        tee: TeeId,
+        line_offset: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        let line = self.checked_line(tee, line_offset)?;
+        Ok(self.mee.write_line(&mut self.platform.dram, line, now))
+    }
+
+    /// Runs a compute demand for the TEE on the embedded cores.
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running.
+    pub fn compute(
+        &mut self,
+        tee: TeeId,
+        ops: &OpCounts,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        self.ensure_running(tee)?;
+        Ok(self.platform.compute(ops, now))
+    }
+
+    /// `GetResult` (Table 2): copies `bytes` of results into the secure
+    /// metadata region and DMAs them to the host (workflow steps 7–8).
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running.
+    pub fn get_result(
+        &mut self,
+        tee: TeeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        self.ensure_running(tee)?;
+        // Copy into the metadata region happens in the secure world.
+        let lines = ByteSize::from_bytes(bytes).cache_lines();
+        let state = self.tees.get(&tee.raw()).expect("running");
+        let first = CacheLine::new(state.region_page * LINES_PER_PAGE);
+        let copy_done = self.platform.dram.access_run(
+            first,
+            lines.min(LINES_PER_PAGE * 4),
+            iceclave_dram::MemOp::Read,
+            now,
+        );
+        let copy_done = self
+            .platform
+            .monitor
+            .call_into(World::Secure, copy_done, |t| t);
+        let dma = self.platform.pcie_transfer_time(bytes);
+        Ok(copy_done + dma)
+    }
+
+    /// `TerminateTEE` (Table 2): reclaims the region, clears ID bits,
+    /// returns the identifier to the pool, and bills the Table 5
+    /// deletion cost.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::UnknownTee`].
+    pub fn terminate_tee(&mut self, tee: TeeId, now: SimTime) -> Result<SimTime, IceClaveError> {
+        let done = self.reclaim(tee, TeeStatus::Terminated, now)?;
+        self.stats.terminated += 1;
+        Ok(done)
+    }
+
+    /// `ThrowOutTEE` (Table 2): aborts the TEE with `reason`,
+    /// reclaiming its resources.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::UnknownTee`].
+    pub fn throw_out(
+        &mut self,
+        tee: TeeId,
+        reason: AbortReason,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        let done = self.reclaim(tee, TeeStatus::Aborted(reason), now)?;
+        self.stats.aborted += 1;
+        Ok(done)
+    }
+
+    /// Lifecycle status of a TEE (live or historical ids return their
+    /// last status; unknown ids return `None`).
+    pub fn status(&self, tee: TeeId) -> Option<TeeStatus> {
+        self.tees.get(&tee.raw()).map(|s| s.status)
+    }
+
+    /// Provisions the user's data-decryption key into a running TEE
+    /// (§4.6: the key arrives over the secure channel with the
+    /// offloaded program and lets the TEE decrypt user-encrypted data
+    /// at runtime).
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running.
+    pub fn provision_user_key(&mut self, tee: TeeId, key: [u8; 16]) -> Result<(), IceClaveError> {
+        self.ensure_running(tee)?;
+        let state = self.tees.get_mut(&tee.raw()).expect("running");
+        state.user_key = Some(key);
+        Ok(())
+    }
+
+    /// The user key provisioned into a TEE, if any (secure-world
+    /// accessor used by the in-TEE decryption path and tests).
+    pub fn user_key(&self, tee: TeeId) -> Option<[u8; 16]> {
+        self.tees.get(&tee.raw()).and_then(|s| s.user_key)
+    }
+
+    /// **Attack surface check**: what happens when a normal-world
+    /// program tries to write the protected mapping table directly. The
+    /// MMU faults — this is the Figure 6 permission matrix at work.
+    ///
+    /// # Errors
+    ///
+    /// Always returns the [`ProtectionFault`] (as an error) — that is
+    /// the point.
+    pub fn attempt_mapping_table_write(&self) -> Result<(), IceClaveError> {
+        let table_addr =
+            iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
+        self.memory_map
+            .check(World::Normal, table_addr, AccessType::Write)?;
+        Ok(())
+    }
+
+    /// **Attack surface check**: normal-world read of the protected
+    /// mapping table — allowed by design (that is the §4.2
+    /// optimization).
+    ///
+    /// # Errors
+    ///
+    /// Never for the protected region; present for symmetry.
+    pub fn attempt_mapping_table_read(&self) -> Result<(), IceClaveError> {
+        let table_addr =
+            iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
+        self.memory_map
+            .check(World::Normal, table_addr, AccessType::Read)?;
+        Ok(())
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn ensure_running(&self, tee: TeeId) -> Result<(), IceClaveError> {
+        match self.tees.get(&tee.raw()) {
+            Some(state) if state.status == TeeStatus::Running => Ok(()),
+            Some(_) => Err(IceClaveError::NotRunning(tee)),
+            None => Err(IceClaveError::UnknownTee(tee)),
+        }
+    }
+
+    /// Bounds-checks a TEE-relative line offset; violations throw the
+    /// TEE out (§4.5 abort condition 1).
+    fn checked_line(&mut self, tee: TeeId, line_offset: u64) -> Result<CacheLine, IceClaveError> {
+        self.ensure_running(tee)?;
+        let state = self.tees.get(&tee.raw()).expect("running");
+        let region_lines = state.region_pages * LINES_PER_PAGE;
+        if line_offset >= region_lines {
+            let state = self.tees.get_mut(&tee.raw()).expect("running");
+            state.status = TeeStatus::Aborted(AbortReason::AccessViolation);
+            self.stats.aborted += 1;
+            return Err(IceClaveError::RegionViolation { tee, line_offset });
+        }
+        Ok(CacheLine::new(
+            state.region_page * LINES_PER_PAGE + line_offset,
+        ))
+    }
+
+    fn reclaim(
+        &mut self,
+        tee: TeeId,
+        status: TeeStatus,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        let state = self
+            .tees
+            .get_mut(&tee.raw())
+            .ok_or(IceClaveError::UnknownTee(tee))?;
+        if state.status != TeeStatus::Running {
+            return Err(IceClaveError::NotRunning(tee));
+        }
+        state.status = status;
+        state.user_key = None; // keys never outlive the TEE
+        let lpns = state.lpns.clone();
+        let region_page = state.region_page;
+        self.platform.ftl.clear_id_bits(&lpns);
+        self.free_regions.push(region_page);
+        self.free_ids.push(tee);
+        let delete_cost = self.config.tee_delete;
+        Ok(self
+            .platform
+            .monitor
+            .call_into(World::Secure, now, |t| t + delete_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_with_data(pages: u64) -> (IceClave, SimTime) {
+        let mut ice = IceClave::new(IceClaveConfig::tiny());
+        let t = ice.populate(Lpn::new(0), pages, SimTime::ZERO).unwrap();
+        (ice, t)
+    }
+
+    fn lpns(range: std::ops::Range<u64>) -> Vec<Lpn> {
+        range.map(Lpn::new).collect()
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let (mut ice, t) = setup_with_data(8);
+        let (tee, t) = ice.offload_code(64 << 10, &lpns(0..8), t).unwrap();
+        assert_eq!(ice.status(tee), Some(TeeStatus::Running));
+        let t = ice.read_flash_page(tee, Lpn::new(0), t).unwrap();
+        let t = ice.mem_write(tee, 10_000, t).unwrap();
+        let t = ice.mem_read(tee, 10_000, t).unwrap();
+        let t = ice.get_result(tee, 4096, t).unwrap();
+        ice.terminate_tee(tee, t).unwrap();
+        assert_eq!(ice.status(tee), Some(TeeStatus::Terminated));
+        let s = ice.stats();
+        assert_eq!(s.created, 1);
+        assert_eq!(s.terminated, 1);
+        assert_eq!(s.pages_loaded, 1);
+    }
+
+    #[test]
+    fn creation_bills_table5_cost() {
+        let (mut ice, t) = setup_with_data(2);
+        let switches_before = ice.platform().monitor.stats().switches;
+        let (_tee, done) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        // 95us creation plus two world switches.
+        let elapsed = done.saturating_since(t);
+        assert_eq!(elapsed.as_nanos(), 95_000 + 2 * 3_800);
+        assert_eq!(ice.platform().monitor.stats().switches, switches_before + 2);
+    }
+
+    #[test]
+    fn oversized_binary_is_rejected() {
+        let (mut ice, t) = setup_with_data(2);
+        let err = ice
+            .offload_code(64 << 20, &lpns(0..2), t)
+            .unwrap_err();
+        assert!(matches!(err, IceClaveError::CodeTooLarge { .. }));
+    }
+
+    #[test]
+    fn id_bits_isolate_tees_from_each_other() {
+        let (mut ice, t) = setup_with_data(8);
+        let (alice, t) = ice.offload_code(1024, &lpns(0..4), t).unwrap();
+        let (mallory, t) = ice.offload_code(1024, &lpns(4..8), t).unwrap();
+        // Mallory probes Alice's pages through every API (§4.3 attack).
+        assert!(matches!(
+            ice.read_mapping_entry(mallory, Lpn::new(0), t),
+            Err(IceClaveError::Ftl(FtlError::AccessDenied { .. }))
+        ));
+        assert!(matches!(
+            ice.read_flash_page(mallory, Lpn::new(1), t),
+            Err(IceClaveError::Ftl(FtlError::AccessDenied { .. }))
+        ));
+        // Alice still works.
+        assert!(ice.read_flash_page(alice, Lpn::new(0), t).is_ok());
+    }
+
+    #[test]
+    fn region_violation_throws_the_tee_out() {
+        let (mut ice, t) = setup_with_data(2);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        let region_lines =
+            ice.config().tee_region.as_bytes() / 64;
+        let err = ice.mem_read(tee, region_lines + 1, t).unwrap_err();
+        assert!(matches!(err, IceClaveError::RegionViolation { .. }));
+        assert_eq!(
+            ice.status(tee),
+            Some(TeeStatus::Aborted(AbortReason::AccessViolation))
+        );
+        // A dead TEE cannot keep issuing requests.
+        assert!(matches!(
+            ice.mem_read(tee, 0, t),
+            Err(IceClaveError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn mapping_table_is_readable_but_not_writable_from_normal_world() {
+        let (ice, _) = setup_with_data(1);
+        assert!(ice.attempt_mapping_table_read().is_ok());
+        let err = ice.attempt_mapping_table_write().unwrap_err();
+        assert!(matches!(err, IceClaveError::Protection(_)));
+    }
+
+    #[test]
+    fn tee_ids_are_reused_after_termination() {
+        let (mut ice, mut t) = setup_with_data(2);
+        let pages = lpns(0..2);
+        let mut first_id = None;
+        for _ in 0..20 {
+            let (tee, t2) = ice.offload_code(1024, &pages, t).unwrap();
+            if first_id.is_none() {
+                first_id = Some(tee);
+            }
+            t = ice.terminate_tee(tee, t2).unwrap();
+        }
+        // Only 15 ids exist; 20 sequential TEEs require reuse.
+        assert!(ice.stats().id_reuses > 0);
+        assert_eq!(ice.stats().created, 20);
+    }
+
+    #[test]
+    fn id_pool_exhaustion_is_reported() {
+        let (mut ice, mut t) = setup_with_data(15);
+        let mut live = Vec::new();
+        for i in 0..15u64 {
+            match ice.offload_code(1024, &lpns(i..i + 1), t) {
+                Ok((tee, t2)) => {
+                    live.push(tee);
+                    t = t2;
+                }
+                Err(e) => panic!("creation {i} failed early: {e}"),
+            }
+        }
+        assert!(matches!(
+            ice.offload_code(1024, &lpns(0..1), t),
+            Err(IceClaveError::NoFreeIds)
+        ));
+    }
+
+    #[test]
+    fn offload_rolls_back_on_unmapped_grant() {
+        let (mut ice, t) = setup_with_data(2);
+        let err = ice.offload_code(1024, &lpns(0..5), t).unwrap_err();
+        assert!(matches!(err, IceClaveError::Ftl(FtlError::Unmapped(_))));
+        // The id and the region were returned to the pools.
+        let (tee, t2) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        ice.terminate_tee(tee, t2).unwrap();
+    }
+
+    #[test]
+    fn flash_loads_fill_protected_input_pages() {
+        let (mut ice, t) = setup_with_data(4);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..4), t).unwrap();
+        let mut t2 = t;
+        for i in 0..4u64 {
+            t2 = ice.read_flash_page(tee, Lpn::new(i), t2).unwrap();
+        }
+        assert_eq!(ice.stats().pages_loaded, 4);
+        assert!(ice.mee().stats().fill_writes >= 4 * 64);
+        assert!(ice.cipher_mut().pages_decrypted() == 0); // timing path only
+    }
+
+    #[test]
+    fn throw_out_records_reason() {
+        let (mut ice, t) = setup_with_data(2);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        ice.throw_out(tee, AbortReason::IntegrityFailure, t).unwrap();
+        assert_eq!(
+            ice.status(tee),
+            Some(TeeStatus::Aborted(AbortReason::IntegrityFailure))
+        );
+        assert_eq!(ice.stats().aborted, 1);
+    }
+}

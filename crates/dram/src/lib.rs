@@ -1,0 +1,520 @@
+//! SSD-internal DRAM timing model (USIMM-equivalent substrate).
+//!
+//! Models the DDR3-1600 DRAM of Table 3: one channel, two ranks of eight
+//! banks, open-row policy with `tRCD`-`tRAS`-`tRP`-`tCL`-`tWR` command
+//! timing at the 800 MHz command clock. Each access is classified as a
+//! row-buffer **hit** (`tCL` + burst), **closed-row miss**
+//! (`tRCD + tCL` + burst) or **conflict** (`tRP + tRCD + tCL` + burst,
+//! plus write recovery when the previous access wrote), and serialized on
+//! its bank and on the channel data bus.
+//!
+//! The memory-encryption engine (`iceclave-mee`) drives this model with
+//! both program data and its own metadata traffic (counters, MACs,
+//! integrity-tree nodes), which is how the extra-traffic percentages of
+//! Table 6 arise.
+//!
+//! # Examples
+//!
+//! ```
+//! use iceclave_dram::{Dram, DramConfig, MemOp};
+//! use iceclave_types::{CacheLine, SimTime};
+//!
+//! let mut dram = Dram::new(DramConfig::table3());
+//! let first = dram.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+//! // Line 16 maps to the same bank and row (16 banks interleave low
+//! // bits), so the second access is a row-buffer hit and is faster.
+//! let second = dram.access(CacheLine::new(16), MemOp::Read, first.end);
+//! assert!(second.service() < first.service());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use iceclave_sim::{Resource, ServiceSpan};
+use iceclave_types::{ByteSize, CacheLine, Hertz, SimDuration, SimTime, CACHE_LINE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Read or write, the two DRAM operations the model distinguishes.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A cache-line read.
+    Read,
+    /// A cache-line write-back.
+    Write,
+}
+
+/// Row-buffer outcome of one access.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle (no open row).
+    ClosedMiss,
+    /// Another row was open and had to be precharged first.
+    Conflict,
+}
+
+/// DDR3 device and timing configuration (Table 3).
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Total capacity.
+    pub capacity: ByteSize,
+    /// Row-buffer size per bank.
+    pub row_size: ByteSize,
+    /// Command clock (800 MHz for DDR3-1600).
+    pub clock: Hertz,
+    /// Activate-to-read delay, in command-clock cycles.
+    pub t_rcd: u32,
+    /// Activate-to-precharge minimum, in cycles.
+    pub t_ras: u32,
+    /// Precharge time, in cycles.
+    pub t_rp: u32,
+    /// CAS (read) latency, in cycles.
+    pub t_cl: u32,
+    /// Write recovery time, in cycles.
+    pub t_wr: u32,
+    /// Data-burst occupancy of the bus per 64 B line (BL8 = 4 cycles).
+    pub burst_cycles: u32,
+    /// Model periodic refresh: every `t_refi` cycles the rank is
+    /// unavailable for `t_rfc` cycles. Off by default (a ~1–3% effect);
+    /// enable for refresh-sensitivity studies.
+    pub refresh_enabled: bool,
+    /// Refresh interval (DDR3: 7.8 us = 6240 cycles at 800 MHz).
+    pub t_refi: u32,
+    /// Refresh cycle time (4 Gb DDR3: ~260 ns = 208 cycles).
+    pub t_rfc: u32,
+}
+
+impl DramConfig {
+    /// Table 3: DDR3-1600, 4 GiB, 1 channel, 2 ranks/channel,
+    /// 8 banks/rank, 11-28-11-11-12 timing.
+    pub fn table3() -> Self {
+        DramConfig {
+            channels: 1,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            capacity: ByteSize::from_gib(4),
+            row_size: ByteSize::from_kib(8),
+            clock: Hertz::from_mhz(800),
+            t_rcd: 11,
+            t_ras: 28,
+            t_rp: 11,
+            t_cl: 11,
+            t_wr: 12,
+            burst_cycles: 4,
+            refresh_enabled: false,
+            t_refi: 6240,
+            t_rfc: 208,
+        }
+    }
+
+    /// Enables periodic-refresh modeling.
+    pub fn with_refresh(mut self) -> Self {
+        self.refresh_enabled = true;
+        self
+    }
+
+    /// Table 3 configuration with a different capacity (Figure 16 sweeps
+    /// 4 GiB vs 2 GiB).
+    pub fn with_capacity(mut self, capacity: ByteSize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Cache lines per row buffer.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_size.as_bytes() / CACHE_LINE_SIZE
+    }
+
+    /// Total banks across the device.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Peak data-bus bandwidth per channel in bytes/second.
+    pub fn peak_bandwidth_per_channel(&self) -> u64 {
+        // One 64 B line every `burst_cycles` command cycles.
+        self.clock.as_hz() / u64::from(self.burst_cycles) * CACHE_LINE_SIZE
+    }
+}
+
+/// Latency/traffic statistics for the DRAM model.
+#[derive(Clone, Debug, Default)]
+pub struct DramStats {
+    /// Cache-line reads served.
+    pub reads: u64,
+    /// Cache-line writes served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to idle banks.
+    pub row_closed_misses: u64,
+    /// Row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Accesses delayed by a refresh cycle (refresh modeling only).
+    pub refresh_stalls: u64,
+    /// Sum of access latencies.
+    pub total_latency: SimDuration,
+}
+
+impl DramStats {
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Bytes moved on the data bus.
+    pub fn bytes(&self) -> u64 {
+        self.accesses() * CACHE_LINE_SIZE
+    }
+
+    /// Mean access latency, or zero when idle.
+    pub fn mean_latency(&self) -> SimDuration {
+        let n = self.accesses();
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_latency / n
+        }
+    }
+
+    /// Row-buffer hit rate in `[0,1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / n as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Bank {
+    busy: Resource,
+    open_row: Option<u64>,
+    last_activate: SimTime,
+    last_was_write: bool,
+}
+
+/// The DRAM device model.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    buses: Vec<Resource>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle DRAM with all banks precharged.
+    pub fn new(config: DramConfig) -> Self {
+        let banks = (0..config.total_banks())
+            .map(|i| Bank {
+                busy: Resource::new(format!("bank{i}")),
+                open_row: None,
+                last_activate: SimTime::ZERO,
+                last_was_write: false,
+            })
+            .collect();
+        let buses = (0..config.channels)
+            .map(|i| Resource::new(format!("dram-bus{i}")))
+            .collect();
+        Dram {
+            config,
+            banks,
+            buses,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Serves one cache-line access, returning its service span (`end` is
+    /// when the data burst completes on the bus).
+    pub fn access(&mut self, line: CacheLine, op: MemOp, arrival: SimTime) -> ServiceSpan {
+        let (channel, bank_idx, row) = self.map(line);
+        let clock = self.config.clock;
+
+        // Bank *occupancy* covers only the commands that keep the bank
+        // busy (activate/precharge and the CAS slot); the CAS-to-data
+        // latency (tCL) is pipelined, so back-to-back row hits stream at
+        // the burst rate while each access still sees tCL of latency.
+        let (outcome, occupancy_cycles) = {
+            let bank = &self.banks[bank_idx];
+            match bank.open_row {
+                Some(open) if open == row => {
+                    (RowOutcome::Hit, u64::from(self.config.burst_cycles))
+                }
+                Some(_) => {
+                    let mut cycles = u64::from(
+                        self.config.t_rp + self.config.t_rcd + self.config.burst_cycles,
+                    );
+                    if bank.last_was_write {
+                        cycles += u64::from(self.config.t_wr);
+                    }
+                    (RowOutcome::Conflict, cycles)
+                }
+                None => (
+                    RowOutcome::ClosedMiss,
+                    u64::from(self.config.t_rcd + self.config.burst_cycles),
+                ),
+            }
+        };
+
+        // On a conflict the precharge may additionally wait for tRAS since
+        // the previous activate.
+        let mut earliest_start = if outcome == RowOutcome::Conflict {
+            let ras_done = self.banks[bank_idx].last_activate + clock.cycles(self.config.t_ras.into());
+            arrival.max(ras_done)
+        } else {
+            arrival
+        };
+        // Periodic refresh: commands issued while the rank refreshes
+        // wait for the refresh cycle to complete.
+        if self.config.refresh_enabled {
+            let refi_ps = clock.cycles(self.config.t_refi.into()).as_ps();
+            let rfc_ps = clock.cycles(self.config.t_rfc.into()).as_ps();
+            let into_window = earliest_start.as_ps() % refi_ps;
+            if into_window < rfc_ps {
+                earliest_start = earliest_start + clock.cycles(0) // no-op for type clarity
+                    + iceclave_types::SimDuration::from_ps(rfc_ps - into_window);
+                self.stats.refresh_stalls += 1;
+            }
+        }
+
+        let command = self.banks[bank_idx]
+            .busy
+            .acquire(earliest_start, clock.cycles(occupancy_cycles));
+        // Data appears tCL after the column command and occupies the
+        // shared data bus for the burst.
+        let burst = self.buses[channel as usize].acquire(
+            command.end + clock.cycles(self.config.t_cl.into())
+                - clock.cycles(self.config.burst_cycles.into()),
+            clock.cycles(self.config.burst_cycles.into()),
+        );
+
+        let bank = &mut self.banks[bank_idx];
+        if outcome != RowOutcome::Hit {
+            bank.last_activate = command.start;
+        }
+        bank.open_row = Some(row);
+        bank.last_was_write = op == MemOp::Write;
+
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::ClosedMiss => self.stats.row_closed_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        match op {
+            MemOp::Read => self.stats.reads += 1,
+            MemOp::Write => self.stats.writes += 1,
+        }
+        let span = ServiceSpan {
+            start: command.start,
+            end: burst.end,
+        };
+        self.stats.total_latency += span.latency_since(arrival);
+        span
+    }
+
+    /// Serves `count` consecutive cache-line accesses starting at `line`,
+    /// returning the completion time of the last one. A convenience for
+    /// streaming transfers (page fills, tree walks).
+    pub fn access_run(
+        &mut self,
+        line: CacheLine,
+        count: u64,
+        op: MemOp,
+        arrival: SimTime,
+    ) -> SimTime {
+        let mut t = arrival;
+        for i in 0..count {
+            t = self
+                .access(CacheLine::new(line.raw() + i), op, arrival)
+                .end
+                .max(t);
+        }
+        t
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Resets timing state and statistics (rows precharged, buses idle).
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.busy.reset();
+            b.open_row = None;
+            b.last_activate = SimTime::ZERO;
+            b.last_was_write = false;
+        }
+        for bus in &mut self.buses {
+            bus.reset();
+        }
+        self.stats = DramStats::default();
+    }
+
+    /// Maps a cache line to `(channel, flat bank index, row)`.
+    ///
+    /// Layout (LSB to MSB): channel, bank, rank, column, row — standard
+    /// bank-interleaved mapping so consecutive lines hit the same row via
+    /// different columns once the channel/bank bits wrap.
+    fn map(&self, line: CacheLine) -> (u32, usize, u64) {
+        let c = &self.config;
+        let mut x = line.raw();
+        let channel = (x % u64::from(c.channels)) as u32;
+        x /= u64::from(c.channels);
+        let bank = x % u64::from(c.banks_per_rank);
+        x /= u64::from(c.banks_per_rank);
+        let rank = x % u64::from(c.ranks_per_channel);
+        x /= u64::from(c.ranks_per_channel);
+        let col = x % c.lines_per_row();
+        let row = x / c.lines_per_row();
+        let _ = col;
+        let flat_bank = (u64::from(channel) * u64::from(c.ranks_per_channel) + rank)
+            * u64::from(c.banks_per_rank)
+            + bank;
+        (channel, flat_bank as usize, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::table3())
+    }
+
+    fn cycles(n: u32) -> SimDuration {
+        Hertz::from_mhz(800).cycles(n.into())
+    }
+
+    #[test]
+    fn closed_miss_then_hit() {
+        let mut d = dram();
+        let c = *d.config();
+        let first = d.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        assert_eq!(first.service(), cycles(c.t_rcd + c.t_cl + c.burst_cycles));
+        // Consecutive lines map to different banks (bank-interleaved), so
+        // revisit line 0's row through a line in the same bank+row.
+        let same_row = CacheLine::new(u64::from(c.banks_per_rank) * u64::from(c.ranks_per_channel));
+        let second = d.access(same_row, MemOp::Read, first.end);
+        assert_eq!(second.service(), cycles(c.t_cl + c.burst_cycles));
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_closed_misses, 1);
+    }
+
+    #[test]
+    fn conflict_costs_precharge() {
+        let mut d = dram();
+        let c = *d.config();
+        let lines_per_row = c.lines_per_row();
+        let banks = u64::from(c.banks_per_rank) * u64::from(c.ranks_per_channel);
+        // Two lines in the same bank but different rows.
+        let a = CacheLine::new(0);
+        let b = CacheLine::new(banks * lines_per_row);
+        let first = d.access(a, MemOp::Read, SimTime::ZERO);
+        let second = d.access(b, MemOp::Read, first.end);
+        assert!(second.service() >= cycles(c.t_rp + c.t_rcd + c.t_cl + c.burst_cycles));
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn write_recovery_penalizes_following_conflict() {
+        let mut d = dram();
+        let c = *d.config();
+        let banks = u64::from(c.banks_per_rank) * u64::from(c.ranks_per_channel);
+        let a = CacheLine::new(0);
+        let b = CacheLine::new(banks * c.lines_per_row());
+        let w = d.access(a, MemOp::Write, SimTime::ZERO);
+        let after_write = d.access(b, MemOp::Read, w.end);
+
+        let mut d2 = dram();
+        let r = d2.access(a, MemOp::Read, SimTime::ZERO);
+        let after_read = d2.access(b, MemOp::Read, r.end);
+        assert!(after_write.service() > after_read.service());
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = dram();
+        // Lines 0 and 1 interleave across banks, so both start at zero.
+        let a = d.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        let b = d.access(CacheLine::new(1), MemOp::Read, SimTime::ZERO);
+        assert_eq!(a.start, b.start);
+        // But the shared data bus serializes the bursts.
+        assert_ne!(a.end, b.end);
+    }
+
+    #[test]
+    fn access_run_moves_time_forward() {
+        let mut d = dram();
+        let t = d.access_run(CacheLine::new(0), 8, MemOp::Read, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(d.stats().reads, 8);
+        assert_eq!(d.stats().bytes(), 8 * 64);
+    }
+
+    #[test]
+    fn stats_mean_latency() {
+        let mut d = dram();
+        d.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        assert!(d.stats().mean_latency() > SimDuration::ZERO);
+        assert_eq!(d.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_restores_idle_state() {
+        let mut d = dram();
+        d.access(CacheLine::new(0), MemOp::Write, SimTime::ZERO);
+        d.reset();
+        assert_eq!(d.stats().accesses(), 0);
+        let first = d.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        let c = *d.config();
+        assert_eq!(first.service(), cycles(c.t_rcd + c.t_cl + c.burst_cycles));
+    }
+
+    #[test]
+    fn refresh_delays_unlucky_accesses() {
+        let mut d = Dram::new(DramConfig::table3().with_refresh());
+        // An access at t=0 lands inside the first refresh window.
+        let delayed = d.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        assert_eq!(d.stats().refresh_stalls, 1);
+
+        let mut plain = Dram::new(DramConfig::table3());
+        let base = plain.access(CacheLine::new(0), MemOp::Read, SimTime::ZERO);
+        assert!(delayed.end > base.end);
+        // 260 ns of tRFC shift.
+        let shift = delayed.end.saturating_since(base.end);
+        assert_eq!(shift.as_nanos(), 260);
+    }
+
+    #[test]
+    fn refresh_leaves_mid_interval_accesses_alone() {
+        let mut d = Dram::new(DramConfig::table3().with_refresh());
+        // Midway between refreshes: unaffected.
+        let t = SimTime::ZERO + SimDuration::from_nanos(4_000);
+        d.access(CacheLine::new(0), MemOp::Read, t);
+        assert_eq!(d.stats().refresh_stalls, 0);
+    }
+
+    #[test]
+    fn peak_bandwidth_is_ddr3_1600() {
+        let c = DramConfig::table3();
+        // 800 MHz command clock / 4 cycles per line * 64 B = 12.8 GB/s.
+        assert_eq!(c.peak_bandwidth_per_channel(), 12_800_000_000);
+    }
+}

@@ -1,0 +1,182 @@
+//! Plain-text table rendering for the reproduction reports.
+
+use std::fmt;
+
+/// A fixed-width text table with a title, printable anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_experiments::report::TextTable;
+///
+/// let mut t = TextTable::new("Demo", &["workload", "value"]);
+/// t.row(&["TPC-H Q1", "2.31x"]);
+/// let s = t.to_string();
+/// assert!(s.contains("TPC-H Q1"));
+/// assert!(s.contains("Demo"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with blanks).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting) for plotting
+    /// pipelines.
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            let mut cells: Vec<String> = row.iter().map(|c| field(c)).collect();
+            cells.resize(self.header.len(), String::new());
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, width) in w.iter_mut().enumerate() {
+                *width = (*width).max(row.get(c).map_or(0, String::len));
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", h, width = w[i]));
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        writeln!(f, "{}", "-".repeat(line.trim_end().len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, width) in w.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{:<width$}  ", cell, width = width));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage, `12.3%`.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats a small ratio in scientific notation like Table 1.
+pub fn fmt_sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("T", &["a", "long-header"]);
+        t.row(&["xxxxxxxx", "1"]);
+        t.row(&["y", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        // lines[1] is the header, lines[2] the separator; data rows
+        // align the second column.
+        let c1 = lines[3].find('1').unwrap();
+        let c2 = lines[4].find('2').unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_x(2.308), "2.31x");
+        assert_eq!(fmt_pct(0.076), "7.60%");
+        assert_eq!(fmt_sci(6.4e-6), "6.40e-6");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("T", &["a", "b", "c"]);
+        t.row(&["only-one"]);
+        let s = t.to_string();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn csv_escapes_and_pads() {
+        let mut t = TextTable::new("T", &["name", "value"]);
+        t.row(&["has,comma", "1"]);
+        t.row(&["has\"quote", "2"]);
+        t.row(&["only-one"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "\"has,comma\",1");
+        assert_eq!(lines[2], "\"has\"\"quote\",2");
+        assert_eq!(lines[3], "only-one,");
+    }
+}

@@ -1,0 +1,37 @@
+//! Diagnostic probe (ignored by default): prints per-workload
+//! Host/ISC/IceClave comparisons with overhead and traffic breakdowns.
+//!
+//! Run with:
+//! `cargo test --release -p iceclave-experiments --test debug_probe -- --ignored --nocapture`
+
+use iceclave_experiments::{run, Mode, Overrides};
+use iceclave_types::ByteSize;
+use iceclave_workloads::{WorkloadConfig, WorkloadKind};
+
+#[test]
+#[ignore = "diagnostic: run manually with --ignored --nocapture"]
+fn probe() {
+    let cfg = WorkloadConfig {
+        functional_bytes: ByteSize::from_mib(8),
+        ..WorkloadConfig::test()
+    };
+    for kind in WorkloadKind::ALL {
+        let host = run(Mode::Host, kind, &cfg, &Overrides::none());
+        let isc = run(Mode::Isc, kind, &cfg, &Overrides::none());
+        let ice = run(Mode::IceClave, kind, &cfg, &Overrides::none());
+        println!(
+            "{:12} host={:>10} isc={:>10} ice={:>10} | stall={:>10} mem={:>10} sec={:>10} | vs_host={:.2} vs_isc=+{:.1}% enc={:.3} ver={:.3}",
+            kind.label(),
+            host.total.to_string(),
+            isc.total.to_string(),
+            ice.total.to_string(),
+            ice.load_stall.to_string(),
+            ice.mem_time.to_string(),
+            ice.sec_overhead.to_string(),
+            ice.speedup_over(&host),
+            (ice.total / isc.total - 1.0) * 100.0,
+            ice.enc_traffic,
+            ice.ver_traffic,
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The flash array: NAND state machine plus die/channel timing.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use iceclave_sim::{Histogram, Resource, ServiceSpan};
+use iceclave_types::{Ppn, SimTime};
+
+use crate::{BlockAddr, FlashConfig};
+
+/// Errors returned by flash operations that violate the NAND contract.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum FlashError {
+    /// Attempt to read a page that has never been programmed since the
+    /// last erase of its block.
+    ReadUnwritten(Ppn),
+    /// Attempt to program a page out of order or twice without an erase.
+    /// NAND requires pages within a block to be programmed sequentially.
+    ProgramOutOfOrder {
+        /// The offending page.
+        ppn: Ppn,
+        /// The page index the block expects to be programmed next.
+        expected_page: u32,
+    },
+    /// Address beyond the device geometry.
+    OutOfRange(Ppn),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::ReadUnwritten(ppn) => write!(f, "read of unwritten page {ppn}"),
+            FlashError::ProgramOutOfOrder {
+                ppn,
+                expected_page,
+            } => write!(
+                f,
+                "out-of-order program of {ppn}; block expects page {expected_page} next"
+            ),
+            FlashError::OutOfRange(ppn) => write!(f, "{ppn} is beyond the device"),
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+/// Aggregate statistics for the flash array.
+#[derive(Clone, Debug, Default)]
+pub struct FlashStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Bytes moved from flash over channel buses.
+    pub bytes_read: u64,
+    /// Bytes moved to flash over channel buses.
+    pub bytes_written: u64,
+    /// End-to-end page read latency (ns) distribution.
+    pub read_latency_ns: Histogram,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct BlockState {
+    /// Next page index expected to be programmed (pages below are
+    /// written).
+    frontier: u32,
+    /// Lifetime erase count, for wear-leveling decisions.
+    erase_count: u32,
+}
+
+/// The flash device: geometry, NAND state, per-die and per-channel
+/// timing, and a sparse functional data store.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_flash::{FlashArray, FlashConfig};
+/// use iceclave_types::{Ppn, SimTime};
+///
+/// let mut array = FlashArray::new(FlashConfig::tiny());
+/// let ppn = Ppn::new(0);
+/// array.program_page(ppn, SimTime::ZERO)?;
+/// let read = array.read_page(ppn, SimTime::ZERO)?;
+/// assert!(read.end > SimTime::ZERO);
+/// # Ok::<(), iceclave_flash::FlashError>(())
+/// ```
+#[derive(Debug)]
+pub struct FlashArray {
+    config: FlashConfig,
+    blocks: Vec<BlockState>,
+    dies: Vec<Resource>,
+    channels: Vec<Resource>,
+    data: HashMap<u64, Box<[u8]>>,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Creates an erased flash array.
+    pub fn new(config: FlashConfig) -> Self {
+        let g = &config.geometry;
+        let blocks = vec![BlockState::default(); g.total_blocks() as usize];
+        let dies = (0..g.total_dies())
+            .map(|i| Resource::new(format!("die{i}")))
+            .collect();
+        let channels = (0..g.channels)
+            .map(|i| Resource::new(format!("channel{i}")))
+            .collect();
+        FlashArray {
+            config,
+            blocks,
+            dies,
+            channels,
+            data: HashMap::new(),
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.config
+    }
+
+    /// Reads a page: die busy for the cell-read time, then the channel
+    /// bus busy for the page transfer. Returns the bus-transfer span
+    /// (`end` is when the data has reached the controller).
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::ReadUnwritten`].
+    pub fn read_page(&mut self, ppn: Ppn, arrival: SimTime) -> Result<ServiceSpan, FlashError> {
+        let addr = self.checked_addr(ppn)?;
+        let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
+        if addr.page >= self.blocks[block_idx].frontier {
+            return Err(FlashError::ReadUnwritten(ppn));
+        }
+        let die_idx =
+            self.config
+                .geometry
+                .die_index(addr.channel, addr.chip, addr.die) as usize;
+        let cell = self.dies[die_idx].acquire(arrival, self.config.timing.read);
+        let xfer = self.channels[addr.channel as usize]
+            .acquire(cell.end, self.config.page_transfer_time());
+        self.stats.reads += 1;
+        self.stats.bytes_read += u64::from(self.config.geometry.page_size);
+        self.stats
+            .read_latency_ns
+            .record(xfer.latency_since(arrival).as_nanos());
+        Ok(ServiceSpan {
+            start: cell.start,
+            end: xfer.end,
+        })
+    }
+
+    /// Programs a page: channel bus transfers the data to the die
+    /// register, then the die is busy for the program time.
+    ///
+    /// NAND constraint: within a block, pages must be programmed in
+    /// order, and a page cannot be reprogrammed before its block is
+    /// erased.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::ProgramOutOfOrder`].
+    pub fn program_page(&mut self, ppn: Ppn, arrival: SimTime) -> Result<ServiceSpan, FlashError> {
+        let addr = self.checked_addr(ppn)?;
+        let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
+        let frontier = self.blocks[block_idx].frontier;
+        if addr.page != frontier {
+            return Err(FlashError::ProgramOutOfOrder {
+                ppn,
+                expected_page: frontier,
+            });
+        }
+        let die_idx =
+            self.config
+                .geometry
+                .die_index(addr.channel, addr.chip, addr.die) as usize;
+        let xfer = self.channels[addr.channel as usize]
+            .acquire(arrival, self.config.page_transfer_time());
+        let prog = self.dies[die_idx].acquire(xfer.end, self.config.timing.program);
+        self.blocks[block_idx].frontier = frontier + 1;
+        self.stats.programs += 1;
+        self.stats.bytes_written += u64::from(self.config.geometry.page_size);
+        Ok(ServiceSpan {
+            start: xfer.start,
+            end: prog.end,
+        })
+    }
+
+    /// Erases a block: the die is busy for the erase time; all pages in
+    /// the block revert to free and any stored content is dropped.
+    pub fn erase_block(&mut self, block: BlockAddr, arrival: SimTime) -> ServiceSpan {
+        let g = self.config.geometry;
+        let block_idx = g.block_index(block) as usize;
+        let die_idx = g.die_index(block.channel, block.chip, block.die) as usize;
+        let span = self.dies[die_idx].acquire(arrival, self.config.timing.erase);
+        let first_ppn = g.pack(block.page(0)).raw();
+        for page in 0..u64::from(g.pages_per_block) {
+            self.data.remove(&(first_ppn + page));
+        }
+        let state = &mut self.blocks[block_idx];
+        state.frontier = 0;
+        state.erase_count += 1;
+        self.stats.erases += 1;
+        span
+    }
+
+    /// Stores functional content for a page (used by the cipher/TEE
+    /// layers; timing is unaffected). Typically paired with
+    /// [`FlashArray::program_page`].
+    pub fn write_data(&mut self, ppn: Ppn, data: &[u8]) {
+        self.data.insert(ppn.raw(), data.into());
+    }
+
+    /// Functional content of a page, if any was stored.
+    pub fn read_data(&self, ppn: Ppn) -> Option<&[u8]> {
+        self.data.get(&ppn.raw()).map(|b| &b[..])
+    }
+
+    /// True if `ppn`'s page has been programmed since its block was last
+    /// erased.
+    pub fn is_written(&self, ppn: Ppn) -> bool {
+        let addr = self.config.geometry.unpack(ppn);
+        let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
+        addr.page < self.blocks[block_idx].frontier
+    }
+
+    /// Next page index to be programmed in `block`.
+    pub fn frontier(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.config.geometry.block_index(block) as usize].frontier
+    }
+
+    /// Lifetime erase count of `block`.
+    pub fn erase_count(&self, block: BlockAddr) -> u32 {
+        self.blocks[self.config.geometry.block_index(block) as usize].erase_count
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Earliest time `channel`'s bus is free (used by schedulers).
+    pub fn channel_next_free(&self, channel: u32) -> SimTime {
+        self.channels[channel as usize].next_free()
+    }
+
+    /// Per-channel bus resources (read-only view for utilization
+    /// reports).
+    pub fn channels(&self) -> &[Resource] {
+        &self.channels
+    }
+
+    /// Per-die resources (read-only view).
+    pub fn dies(&self) -> &[Resource] {
+        &self.dies
+    }
+
+    fn checked_addr(&self, ppn: Ppn) -> Result<crate::FlashAddr, FlashError> {
+        if ppn.raw() >= self.config.geometry.total_pages() {
+            return Err(FlashError::OutOfRange(ppn));
+        }
+        Ok(self.config.geometry.unpack(ppn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iceclave_types::SimDuration;
+
+    fn tiny() -> FlashArray {
+        FlashArray::new(FlashConfig::tiny())
+    }
+
+    #[test]
+    fn read_requires_programmed_page() {
+        let mut a = tiny();
+        let ppn = Ppn::new(0);
+        assert_eq!(
+            a.read_page(ppn, SimTime::ZERO),
+            Err(FlashError::ReadUnwritten(ppn))
+        );
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+        assert!(a.read_page(ppn, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn program_must_be_sequential_within_block() {
+        let mut a = tiny();
+        // Page 1 of block 0 cannot be programmed before page 0.
+        assert!(matches!(
+            a.program_page(Ppn::new(1), SimTime::ZERO),
+            Err(FlashError::ProgramOutOfOrder {
+                expected_page: 0,
+                ..
+            })
+        ));
+        a.program_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        a.program_page(Ppn::new(1), SimTime::ZERO).unwrap();
+        // Reprogramming page 0 without an erase is also out of order.
+        assert!(a.program_page(Ppn::new(0), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn erase_resets_block_and_counts_wear() {
+        let mut a = tiny();
+        let ppn = Ppn::new(0);
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+        a.write_data(ppn, b"hello");
+        let block = a.config().geometry.unpack(ppn).block_addr();
+        assert_eq!(a.erase_count(block), 0);
+        a.erase_block(block, SimTime::ZERO);
+        assert_eq!(a.erase_count(block), 1);
+        assert_eq!(a.frontier(block), 0);
+        assert!(a.read_data(ppn).is_none());
+        assert!(!a.is_written(ppn));
+        // After the erase the block programs from page 0 again.
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn read_timing_includes_cell_and_transfer() {
+        let mut a = tiny();
+        a.program_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let span = a.read_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let expected = SimDuration::from_micros(50) + a.config().page_transfer_time();
+        assert_eq!(span.end.saturating_since(span.start), expected);
+    }
+
+    #[test]
+    fn reads_on_same_die_serialize() {
+        let mut a = tiny();
+        a.program_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let g = a.config().geometry;
+        // Page 0 and page 1 of block 0 share a die.
+        a.program_page(Ppn::new(1), SimTime::ZERO).unwrap();
+        let r0 = a.read_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let r1 = a.read_page(Ppn::new(1), SimTime::ZERO).unwrap();
+        assert!(r1.end > r0.end);
+        assert_eq!(g.unpack(Ppn::new(0)).block_addr().block, 0);
+    }
+
+    #[test]
+    fn reads_on_different_channels_overlap() {
+        let mut a = tiny();
+        let g = a.config().geometry;
+        // First page of a block on channel 0 and on channel 1.
+        let ch0 = Ppn::new(0);
+        let ch1_addr = crate::FlashAddr {
+            channel: 1,
+            chip: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let ch1 = g.pack(ch1_addr);
+        a.program_page(ch0, SimTime::ZERO).unwrap();
+        a.program_page(ch1, SimTime::ZERO).unwrap();
+        let r0 = a.read_page(ch0, SimTime::ZERO).unwrap();
+        let r1 = a.read_page(ch1, SimTime::ZERO).unwrap();
+        // Both start their cell reads at time zero on separate dies.
+        assert_eq!(r0.start, r1.start);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = tiny();
+        a.program_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        a.read_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        a.read_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let s = a.stats();
+        assert_eq!(s.programs, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_read, 2 * 4096);
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.read_latency_ns.count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut a = tiny();
+        let bad = Ppn::new(a.config().geometry.total_pages());
+        assert_eq!(
+            a.read_page(bad, SimTime::ZERO),
+            Err(FlashError::OutOfRange(bad))
+        );
+        assert_eq!(
+            a.program_page(bad, SimTime::ZERO),
+            Err(FlashError::OutOfRange(bad))
+        );
+    }
+
+    #[test]
+    fn functional_data_round_trip() {
+        let mut a = tiny();
+        let ppn = Ppn::new(3);
+        assert!(a.read_data(ppn).is_none());
+        a.write_data(ppn, &[1, 2, 3]);
+        assert_eq!(a.read_data(ppn), Some(&[1u8, 2, 3][..]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Flash timing parameters and device configuration.
+
+use iceclave_types::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::FlashGeometry;
+
+/// NAND operation timing and channel bandwidth (§2.1 / Table 3 and the
+/// flash-latency sweep of Figure 14).
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Page read (cell array to die register), `tRD` in Table 3 (50 us).
+    pub read: SimDuration,
+    /// Page program (die register to cell array), `tWR` in Table 3
+    /// (300 us).
+    pub program: SimDuration,
+    /// Block erase. Not given in Table 3; 3.5 ms is typical for the TLC
+    /// generation the paper models.
+    pub erase: SimDuration,
+    /// Per-channel bus bandwidth in bytes/second (600 MB/s in Table 3).
+    pub channel_bandwidth: u64,
+}
+
+impl FlashTiming {
+    /// Table 3 timing: 50 us read, 300 us program, 600 MB/s channels.
+    pub fn table3() -> Self {
+        FlashTiming {
+            read: SimDuration::from_micros(50),
+            program: SimDuration::from_micros(300),
+            erase: SimDuration::from_millis(3) + SimDuration::from_micros(500),
+            channel_bandwidth: 600_000_000,
+        }
+    }
+
+    /// Same timing with a different page-read latency (Figure 14 sweeps
+    /// 10–110 us).
+    pub fn with_read_latency(mut self, read: SimDuration) -> Self {
+        self.read = read;
+        self
+    }
+
+    /// Time to move `bytes` across one channel bus.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        debug_assert!(self.channel_bandwidth > 0);
+        let ps = (bytes as u128 * 1_000_000_000_000u128) / self.channel_bandwidth as u128;
+        SimDuration::from_ps(ps as u64)
+    }
+}
+
+/// Complete flash device configuration: geometry plus timing.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FlashConfig {
+    /// Array shape.
+    pub geometry: FlashGeometry,
+    /// Operation timing.
+    pub timing: FlashTiming,
+}
+
+impl FlashConfig {
+    /// The paper's simulated SSD (Table 3).
+    pub fn table3() -> Self {
+        FlashConfig {
+            geometry: FlashGeometry::table3(),
+            timing: FlashTiming::table3(),
+        }
+    }
+
+    /// Miniature device for unit tests.
+    pub fn tiny() -> Self {
+        FlashConfig {
+            geometry: FlashGeometry::tiny(),
+            timing: FlashTiming::table3(),
+        }
+    }
+
+    /// Aggregate internal read bandwidth: every channel streaming at bus
+    /// rate. This is the ceiling in-storage computing can exploit
+    /// (Figures 12/13).
+    pub fn internal_bandwidth(&self) -> ByteSize {
+        ByteSize::from_bytes(u64::from(self.geometry.channels) * self.timing.channel_bandwidth)
+    }
+
+    /// Time for one page to cross a channel bus.
+    pub fn page_transfer_time(&self) -> SimDuration {
+        self.timing
+            .transfer_time(u64::from(self.geometry.page_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let c = FlashConfig::table3();
+        assert_eq!(c.timing.read, SimDuration::from_micros(50));
+        assert_eq!(c.timing.program, SimDuration::from_micros(300));
+        assert_eq!(c.internal_bandwidth().as_bytes(), 4_800_000_000);
+    }
+
+    #[test]
+    fn page_transfer_time_at_600mbps() {
+        let c = FlashConfig::table3();
+        // 4096 B / 600 MB/s = 6.826.. us
+        let t = c.page_transfer_time().as_micros_f64();
+        assert!((t - 6.827).abs() < 0.01, "got {t}");
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let t = FlashTiming::table3();
+        assert_eq!(
+            t.transfer_time(1200).as_ps() * 2,
+            t.transfer_time(2400).as_ps()
+        );
+        assert_eq!(t.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_latency_override() {
+        let t = FlashTiming::table3().with_read_latency(SimDuration::from_micros(10));
+        assert_eq!(t.read, SimDuration::from_micros(10));
+        assert_eq!(t.program, SimDuration::from_micros(300));
+    }
+}

@@ -1,0 +1,445 @@
+//! Flash-controller ECC (§3: "We rely on the Error-Correction Code
+//! (ECC) available in flash controllers for ensuring the integrity of
+//! flash pages").
+//!
+//! Implemented for real as a systematic Reed-Solomon code over GF(256)
+//! (generator polynomial 0x11d), the same family NAND controllers of
+//! the paper's generation shipped (RS/BCH): syndrome computation,
+//! Berlekamp–Massey, Chien search and Forney's algorithm. A 4 KiB page
+//! is interleaved into RS(255, 255−2t) codewords stored with the
+//! page's spare area; up to `t` corrupted bytes per codeword are
+//! corrected and heavier corruption is detected.
+
+use std::error::Error;
+use std::fmt;
+
+/// GF(256) arithmetic with the AES-different NAND-standard reduction
+/// polynomial x⁸+x⁴+x³+x²+1 (0x11d).
+#[derive(Clone, Debug)]
+struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Gf256 {
+    fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    #[inline]
+    fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    #[inline]
+    fn div(&self, a: u8, b: u8) -> u8 {
+        debug_assert!(b != 0, "GF division by zero");
+        if a == 0 {
+            0
+        } else {
+            self.exp
+                [self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
+        }
+    }
+
+    #[inline]
+    fn pow(&self, base_log: usize, exponent: usize) -> u8 {
+        self.exp[(base_log * exponent) % 255]
+    }
+
+    #[inline]
+    fn inv(&self, a: u8) -> u8 {
+        debug_assert!(a != 0);
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// Evaluates `poly` (highest-degree coefficient first) at `x`.
+    fn eval(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+}
+
+/// Decoding failure: more errors than the code can correct.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct EccError {
+    /// Codeword index within the page where correction failed.
+    pub codeword: usize,
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uncorrectable ECC error in codeword {}", self.codeword)
+    }
+}
+
+impl Error for EccError {}
+
+/// A Reed-Solomon page codec correcting up to `t` byte errors per
+/// codeword.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_flash::ecc::EccCodec;
+///
+/// let codec = EccCodec::new(8);
+/// let page = vec![0xA5u8; 4096];
+/// let parity = codec.encode_page(&page);
+///
+/// // A cosmic ray (or an underpowered NAND cell) flips some bytes:
+/// let mut stored = page.clone();
+/// stored[10] ^= 0xFF;
+/// stored[600] ^= 0x01;
+/// let corrected = codec.decode_page(&stored, &parity)?;
+/// assert_eq!(corrected, page);
+/// # Ok::<(), iceclave_flash::ecc::EccError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EccCodec {
+    gf: Gf256,
+    t: usize,
+    /// Generator polynomial, highest degree first, monic.
+    generator: Vec<u8>,
+}
+
+impl EccCodec {
+    /// Creates a codec correcting `t` byte errors per 255-byte
+    /// codeword (NAND controllers of the era: t = 8..40 bits; t = 8
+    /// bytes is a faithful stand-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= 16`.
+    pub fn new(t: usize) -> Self {
+        assert!((1..=16).contains(&t), "t must be in 1..=16");
+        let gf = Gf256::new();
+        // g(x) = Π_{i=1..2t} (x - α^i)
+        let mut generator = vec![1u8];
+        for i in 1..=2 * t {
+            let root = gf.exp[i];
+            let mut next = vec![0u8; generator.len() + 1];
+            for (j, &c) in generator.iter().enumerate() {
+                next[j] ^= c; // x * c
+                next[j + 1] ^= gf.mul(c, root);
+            }
+            generator = next;
+        }
+        EccCodec { gf, t, generator }
+    }
+
+    /// Data bytes per codeword.
+    pub fn data_per_codeword(&self) -> usize {
+        255 - 2 * self.t
+    }
+
+    /// Parity bytes required to protect `page_len` bytes.
+    pub fn parity_len(&self, page_len: usize) -> usize {
+        page_len.div_ceil(self.data_per_codeword()) * 2 * self.t
+    }
+
+    /// Computes the parity (spare-area bytes) for a page.
+    pub fn encode_page(&self, page: &[u8]) -> Vec<u8> {
+        let k = self.data_per_codeword();
+        let mut parity = Vec::with_capacity(self.parity_len(page.len()));
+        for chunk in page.chunks(k) {
+            parity.extend_from_slice(&self.encode_block(chunk));
+        }
+        parity
+    }
+
+    /// Verifies and corrects a stored page against its parity,
+    /// returning the corrected data.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError`] when any codeword has more than `t` byte errors.
+    pub fn decode_page(&self, stored: &[u8], parity: &[u8]) -> Result<Vec<u8>, EccError> {
+        let k = self.data_per_codeword();
+        let p = 2 * self.t;
+        let mut out = Vec::with_capacity(stored.len());
+        for (idx, chunk) in stored.chunks(k).enumerate() {
+            let par = &parity[idx * p..(idx + 1) * p];
+            let corrected = self
+                .decode_block(chunk, par)
+                .map_err(|_| EccError { codeword: idx })?;
+            out.extend_from_slice(&corrected);
+        }
+        Ok(out)
+    }
+
+    /// Systematic encoding: parity = data(x)·x^(2t) mod g(x).
+    fn encode_block(&self, data: &[u8]) -> Vec<u8> {
+        let p = 2 * self.t;
+        let mut remainder = vec![0u8; p];
+        for &byte in data {
+            let factor = byte ^ remainder[0];
+            remainder.rotate_left(1);
+            remainder[p - 1] = 0;
+            if factor != 0 {
+                for (r, &g) in remainder.iter_mut().zip(self.generator[1..].iter()) {
+                    *r ^= self.gf.mul(factor, g);
+                }
+            }
+        }
+        remainder
+    }
+
+    /// Full RS decode of one (shortened) codeword.
+    fn decode_block(&self, data: &[u8], parity: &[u8]) -> Result<Vec<u8>, ()> {
+        let gf = &self.gf;
+        let p = 2 * self.t;
+        // Received codeword, highest-degree coefficient first.
+        let mut received: Vec<u8> = Vec::with_capacity(data.len() + p);
+        received.extend_from_slice(data);
+        received.extend_from_slice(parity);
+        let n = received.len();
+
+        // Syndromes S_i = r(α^i), i = 1..2t.
+        let mut syndromes = vec![0u8; p];
+        let mut any = false;
+        for (i, s) in syndromes.iter_mut().enumerate() {
+            *s = gf.eval(&received, gf.exp[i + 1]);
+            any |= *s != 0;
+        }
+        if !any {
+            received.truncate(data.len());
+            return Ok(received);
+        }
+
+        // Berlekamp–Massey: error locator σ(x), lowest degree first.
+        let mut sigma = vec![1u8];
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for r in 0..p {
+            let mut delta = syndromes[r];
+            for i in 1..=l.min(sigma.len() - 1) {
+                delta ^= gf.mul(sigma[i], syndromes[r - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= r {
+                let temp = sigma.clone();
+                let coef = gf.div(delta, b);
+                // sigma = sigma - coef * x^m * prev
+                let needed = prev.len() + m;
+                if sigma.len() < needed {
+                    sigma.resize(needed, 0);
+                }
+                for (i, &pc) in prev.iter().enumerate() {
+                    sigma[i + m] ^= gf.mul(coef, pc);
+                }
+                prev = temp;
+                l = r + 1 - l;
+                b = delta;
+                m = 1;
+            } else {
+                let coef = gf.div(delta, b);
+                let needed = prev.len() + m;
+                if sigma.len() < needed {
+                    sigma.resize(needed, 0);
+                }
+                for (i, &pc) in prev.iter().enumerate() {
+                    sigma[i + m] ^= gf.mul(coef, pc);
+                }
+                m += 1;
+            }
+        }
+        while sigma.last() == Some(&0) {
+            sigma.pop();
+        }
+        let degree = sigma.len() - 1;
+        if degree > self.t {
+            return Err(());
+        }
+
+        // Chien search: roots X_j^{-1} of σ; error positions from root
+        // exponents. Position convention: coefficient of x^(n-1-pos)
+        // corresponds to received[pos]; r(x) root at α^{-(n-1-pos)}.
+        let mut positions = Vec::new();
+        for i in 0..n {
+            let power = n - 1 - i; // degree of this byte's term
+            let x_inv = gf.exp[(255 - (power % 255)) % 255];
+            let mut acc = 0u8;
+            for (d, &c) in sigma.iter().enumerate() {
+                acc ^= gf.mul(c, gf.pow(gf.log[x_inv as usize] as usize, d));
+            }
+            if acc == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != degree {
+            return Err(());
+        }
+
+        // Forney: Ω(x) = S(x)·σ(x) mod x^(2t), with S lowest-first.
+        let mut omega = vec![0u8; p];
+        for (i, &s) in syndromes.iter().enumerate() {
+            for (j, &c) in sigma.iter().enumerate() {
+                if i + j < p {
+                    omega[i + j] ^= gf.mul(s, c);
+                }
+            }
+        }
+        // σ'(x): formal derivative (odd terms only).
+        let mut corrected = received.clone();
+        for &pos in &positions {
+            let power = n - 1 - pos;
+            let x = gf.exp[power % 255]; // X_j
+            let x_inv = gf.inv(x);
+            // Ω(X_j^{-1})
+            let mut om = 0u8;
+            for (d, &c) in omega.iter().enumerate() {
+                om ^= gf.mul(c, gf.pow(gf.log[x_inv as usize] as usize, d));
+            }
+            // σ'(X_j^{-1})
+            let mut sp = 0u8;
+            for (d, &c) in sigma.iter().enumerate() {
+                if d % 2 == 1 {
+                    sp ^= gf.mul(c, gf.pow(gf.log[x_inv as usize] as usize, d - 1));
+                }
+            }
+            if sp == 0 {
+                return Err(());
+            }
+            // fcr = 1: e_j = X_j^0 · Ω(X_j^{-1}) / σ'(X_j^{-1})... for
+            // narrow-sense codes the magnitude is Ω/σ' (the X_j^{1-fcr}
+            // factor is 1).
+            let magnitude = gf.div(om, sp);
+            corrected[pos] ^= magnitude;
+        }
+
+        // Re-verify: all syndromes of the corrected word must be zero.
+        for i in 0..p {
+            if gf.eval(&corrected, gf.exp[i + 1]) != 0 {
+                return Err(());
+            }
+        }
+        corrected.truncate(data.len());
+        Ok(corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(seed: u8) -> Vec<u8> {
+        (0..4096u32)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn clean_page_round_trips() {
+        let codec = EccCodec::new(8);
+        let data = page(1);
+        let parity = codec.encode_page(&data);
+        assert_eq!(parity.len(), codec.parity_len(4096));
+        assert_eq!(codec.decode_page(&data, &parity).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_per_codeword() {
+        let codec = EccCodec::new(8);
+        let data = page(2);
+        let parity = codec.encode_page(&data);
+        let mut stored = data.clone();
+        // Eight byte errors inside the first codeword.
+        for i in 0..8 {
+            stored[i * 13] ^= 0x5A;
+        }
+        // And a few in a later codeword.
+        for i in 0..5 {
+            stored[1000 + i * 7] ^= 0xFF;
+        }
+        assert_eq!(codec.decode_page(&stored, &parity).unwrap(), data);
+    }
+
+    #[test]
+    fn detects_more_than_t_errors() {
+        let codec = EccCodec::new(4);
+        let data = page(3);
+        let parity = codec.encode_page(&data);
+        let mut stored = data.clone();
+        // 9 > 2t=8 errors in the first codeword: must not silently
+        // miscorrect into the original data.
+        for i in 0..9 {
+            stored[i * 11] ^= 0xA5 ^ i as u8;
+        }
+        match codec.decode_page(&stored, &parity) {
+            Err(e) => assert_eq!(e.codeword, 0),
+            Ok(decoded) => assert_ne!(decoded, data, "silent miscorrection"),
+        }
+    }
+
+    #[test]
+    fn corrupted_parity_is_also_correctable() {
+        let codec = EccCodec::new(8);
+        let data = page(4);
+        let mut parity = codec.encode_page(&data);
+        parity[0] ^= 0x42;
+        parity[3] ^= 0x17;
+        assert_eq!(codec.decode_page(&data, &parity).unwrap(), data);
+    }
+
+    #[test]
+    fn single_bit_flip_anywhere_is_corrected() {
+        let codec = EccCodec::new(8);
+        let data = page(5);
+        let parity = codec.encode_page(&data);
+        for &pos in &[0usize, 100, 238, 239, 1000, 4095] {
+            let mut stored = data.clone();
+            stored[pos] ^= 1;
+            assert_eq!(
+                codec.decode_page(&stored, &parity).unwrap(),
+                data,
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn gf_tables_are_consistent() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a={a}");
+            assert_eq!(gf.div(a, a), 1);
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(a, 0), 0);
+        }
+        // Distributivity spot checks.
+        for (a, b, c) in [(3u8, 7u8, 11u8), (100, 200, 50), (255, 254, 253)] {
+            assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be in")]
+    fn excessive_t_is_rejected() {
+        let _ = EccCodec::new(17);
+    }
+}

@@ -1,0 +1,36 @@
+//! Property-based tests for the Reed-Solomon page codec.
+
+use iceclave_flash::EccCodec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any page with at most `t` byte errors per codeword decodes to
+    /// the original data.
+    #[test]
+    fn corrects_any_t_errors(
+        seed in 0u8..,
+        positions in prop::collection::btree_set(0usize..239, 0..=8),
+        masks in prop::collection::vec(1u8.., 8),
+    ) {
+        let codec = EccCodec::new(8);
+        let data: Vec<u8> = (0..1024u32).map(|i| (i as u8).wrapping_add(seed)).collect();
+        let parity = codec.encode_page(&data);
+        let mut stored = data.clone();
+        for (i, &pos) in positions.iter().enumerate() {
+            stored[pos] ^= masks[i % masks.len()];
+        }
+        prop_assert_eq!(codec.decode_page(&stored, &parity).unwrap(), data);
+    }
+
+    /// The parity length is deterministic and proportional to the page.
+    #[test]
+    fn parity_len_scales(t in 1usize..=16, pages in 1usize..8) {
+        let codec = EccCodec::new(t);
+        let len = pages * 512;
+        let parity = codec.encode_page(&vec![0u8; len]);
+        prop_assert_eq!(parity.len(), codec.parity_len(len));
+        prop_assert_eq!(parity.len() % (2 * t), 0);
+    }
+}

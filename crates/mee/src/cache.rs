@@ -1,0 +1,275 @@
+//! The on-chip metadata (counter) cache.
+//!
+//! Table 3 gives the MEE a 128 KiB counter cache. It holds counter
+//! blocks, MAC blocks and integrity-tree nodes; a hit short-circuits
+//! both the DRAM fetch and the remainder of the Merkle verification walk
+//! (a cached node is trusted — it was verified when it was brought
+//! on-chip). The cache is write-back: dirtied metadata reaches DRAM only
+//! when evicted, which is what keeps the extra write traffic of Table 6
+//! proportional to the workload's write intensity.
+
+use iceclave_types::ByteSize;
+
+/// Result of one cache access.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct CacheOutcome {
+    /// Whether the block was already resident.
+    pub hit: bool,
+    /// A dirty block evicted to make room, which must be written back to
+    /// DRAM by the caller.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative write-back LRU cache over 64 B metadata blocks,
+/// keyed by an opaque block id.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_mee::MetaCache;
+/// use iceclave_types::ByteSize;
+///
+/// let mut cache = MetaCache::new(ByteSize::from_kib(128), 8);
+/// assert!(!cache.access(7).hit); // cold miss, now resident
+/// assert!(cache.access(7).hit); // hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct MetaCache {
+    /// Per-set vectors ordered most-recently-used first.
+    sets: Vec<Vec<(u64, bool)>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl MetaCache {
+    /// Creates a cache of `capacity` bytes of 64 B blocks with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds fewer blocks than one set.
+    pub fn new(capacity: ByteSize, ways: usize) -> Self {
+        let blocks = (capacity.as_bytes() / 64) as usize;
+        assert!(
+            ways > 0 && blocks >= ways,
+            "cache must hold at least one set"
+        );
+        let set_count = (blocks / ways).max(1);
+        MetaCache {
+            sets: vec![Vec::with_capacity(ways); set_count],
+            ways,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Looks up `block` for reading, inserting it clean on a miss.
+    pub fn access(&mut self, block: u64) -> CacheOutcome {
+        self.touch(block, false)
+    }
+
+    /// Looks up `block` and marks it dirty (a metadata update).
+    pub fn access_dirty(&mut self, block: u64) -> CacheOutcome {
+        self.touch(block, true)
+    }
+
+    fn touch(&mut self, block: u64, dirty: bool) -> CacheOutcome {
+        let set_count = self.sets.len() as u64;
+        let set = &mut self.sets[(block % set_count) as usize];
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            let (b, was_dirty) = set.remove(pos);
+            set.insert(0, (b, was_dirty || dirty));
+            self.hits += 1;
+            CacheOutcome {
+                hit: true,
+                writeback: None,
+            }
+        } else {
+            let mut writeback = None;
+            if set.len() == self.ways {
+                if let Some((victim, victim_dirty)) = set.pop() {
+                    if victim_dirty {
+                        writeback = Some(victim);
+                        self.writebacks += 1;
+                    }
+                }
+            }
+            set.insert(0, (block, dirty));
+            self.misses += 1;
+            CacheOutcome {
+                hit: false,
+                writeback,
+            }
+        }
+    }
+
+    /// True if `block` is resident (no LRU update, no stats update).
+    pub fn contains(&self, block: u64) -> bool {
+        let set_count = self.sets.len() as u64;
+        self.sets[(block % set_count) as usize]
+            .iter()
+            .any(|&(b, _)| b == block)
+    }
+
+    /// Removes `block` if resident, returning `true` if it was dirty
+    /// (used when metadata is invalidated by a page-class migration; the
+    /// caller decides whether to write it back).
+    pub fn invalidate(&mut self, block: u64) -> bool {
+        let set_count = self.sets.len() as u64;
+        let set = &mut self.sets[(block % set_count) as usize];
+        if let Some(pos) = set.iter().position(|&(b, _)| b == block) {
+            let (_, dirty) = set.remove(pos);
+            dirty
+        } else {
+            false
+        }
+    }
+
+    /// Flushes every dirty block, returning them; the cache ends clean
+    /// but still resident (a "clean" operation, not an invalidation).
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for entry in set.iter_mut() {
+                if entry.1 {
+                    entry.1 = false;
+                    out.push(entry.0);
+                    self.writebacks += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions observed so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit rate in `[0,1]`, zero when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total blocks the cache can hold.
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MetaCache {
+        // 4 sets x 2 ways = 8 blocks.
+        MetaCache::new(ByteSize::from_bytes(8 * 64), 2)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = small();
+        assert!(!c.access(0).hit);
+        assert!(c.access(0).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets); 2 ways.
+        c.access(0);
+        c.access(4);
+        c.access(0); // 0 is now MRU
+        c.access(8); // evicts 4
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut c = small();
+        c.access(0);
+        c.access(4);
+        let out = c.access(8);
+        assert_eq!(out.writeback, None);
+        assert_eq!(c.writebacks(), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small();
+        c.access_dirty(0);
+        c.access_dirty(4);
+        // Evicts 0 (LRU), which is dirty.
+        let out = c.access(8);
+        assert_eq!(out.writeback, Some(0));
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn dirtiness_is_sticky_until_eviction() {
+        let mut c = small();
+        c.access_dirty(0);
+        c.access(0); // read does not clean it
+        c.access(4);
+        let out = c.access(8); // evicts 4 (clean)... LRU order: 0 older
+        // After access(0), order is [0,4] -> access(4) -> [4,0]; evicting 0.
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = small();
+        c.access_dirty(5);
+        assert!(c.invalidate(5));
+        assert!(!c.contains(5));
+        assert!(!c.invalidate(5));
+    }
+
+    #[test]
+    fn flush_dirty_cleans_in_place() {
+        let mut c = small();
+        c.access_dirty(1);
+        c.access_dirty(2);
+        c.access(3);
+        let mut flushed = c.flush_dirty();
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![1, 2]);
+        assert!(c.contains(1));
+        assert!(c.flush_dirty().is_empty());
+    }
+
+    #[test]
+    fn table3_capacity() {
+        let c = MetaCache::new(ByteSize::from_kib(128), 8);
+        assert_eq!(c.capacity_blocks(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_ways_panics() {
+        let _ = MetaCache::new(ByteSize::from_kib(1), 0);
+    }
+}

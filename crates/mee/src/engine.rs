@@ -1,0 +1,719 @@
+//! The MEE timing/traffic engine.
+//!
+//! Decomposes every program-visible cache-line access into its DRAM data
+//! access plus the metadata traffic (encryption counters, data MACs,
+//! integrity-tree nodes) implied by the configured counter mode, all
+//! filtered through the on-chip counter cache. Metadata is write-back:
+//! updates dirty cached blocks and reach DRAM on eviction, which is what
+//! keeps Table 6's extra-traffic percentages tied to write intensity.
+
+use std::collections::HashMap;
+
+use iceclave_dram::{Dram, MemOp};
+use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::MetaCache;
+use crate::counters::{PageClass, SplitCounterBlock};
+use crate::tree::TreeGeometry;
+
+/// Which counter organization protects DRAM.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CounterMode {
+    /// No memory protection (the ISC baseline and Figure 8's
+    /// "Non-Encryption").
+    Unprotected,
+    /// Conventional split counters for every page (Figure 8's "SC-64").
+    SplitOnly,
+    /// IceClave's hybrid: major-only counters for read-only pages,
+    /// split counters for writable pages (§4.4).
+    Hybrid,
+}
+
+/// MEE configuration.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct MeeConfig {
+    /// Counter organization.
+    pub mode: CounterMode,
+    /// Counter-cache capacity (Table 3: 128 KiB).
+    pub counter_cache: ByteSize,
+    /// Counter-cache associativity.
+    pub cache_ways: usize,
+    /// AES pad-generation latency (Table 3: 60 ns).
+    pub aes_latency: SimDuration,
+    /// MAC computation/verification latency per block.
+    pub mac_latency: SimDuration,
+    /// Pages of protected DRAM (sets the integrity-tree geometry).
+    /// 4 GiB of protected memory is 2^20 pages.
+    pub protected_pages: u64,
+    /// Store per-line data MACs alongside the data (in the ECC-spare
+    /// bits, as Synergy-style designs do) instead of in a separate MAC
+    /// region. Co-location removes the separate MAC fetch/write-back
+    /// traffic, leaving integrity-tree nodes as the only verification
+    /// traffic — which matches Table 6's encryption > verification
+    /// ordering for read-heavy workloads.
+    pub mac_colocated: bool,
+}
+
+impl MeeConfig {
+    fn with_mode(mode: CounterMode) -> Self {
+        MeeConfig {
+            mode,
+            counter_cache: ByteSize::from_kib(128),
+            cache_ways: 8,
+            aes_latency: SimDuration::from_nanos(60),
+            mac_latency: SimDuration::from_nanos(40),
+            protected_pages: 1 << 20,
+            mac_colocated: true,
+        }
+    }
+
+    /// No protection (ISC baseline).
+    pub fn unprotected() -> Self {
+        Self::with_mode(CounterMode::Unprotected)
+    }
+
+    /// Split counters everywhere (SC-64 baseline of Figure 8).
+    pub fn split_only() -> Self {
+        Self::with_mode(CounterMode::SplitOnly)
+    }
+
+    /// IceClave's hybrid-counter scheme.
+    pub fn hybrid() -> Self {
+        Self::with_mode(CounterMode::Hybrid)
+    }
+}
+
+/// Traffic and latency statistics, the source of Table 5's encryption /
+/// verification times and Table 6's extra-traffic percentages.
+#[derive(Clone, Debug, Default)]
+pub struct MeeStats {
+    /// Program-visible line reads.
+    pub data_reads: u64,
+    /// Program-visible line writes.
+    pub data_writes: u64,
+    /// Extra DRAM reads for encryption counters.
+    pub extra_enc_reads: u64,
+    /// Extra DRAM writes for counters (evictions, overflow
+    /// re-encryption).
+    pub extra_enc_writes: u64,
+    /// Extra DRAM reads for MACs and tree nodes.
+    pub extra_ver_reads: u64,
+    /// Extra DRAM writes for MACs and tree nodes.
+    pub extra_ver_writes: u64,
+    /// DMA fill writes (flash-to-DRAM staging); kept separate from
+    /// program traffic so Table 1/6 ratios cover program accesses only.
+    pub fill_writes: u64,
+    /// Whole-page re-encryptions caused by minor-counter overflow.
+    pub overflow_reencryptions: u64,
+    /// RO/RW page migrations (hybrid mode).
+    pub migrations: u64,
+    /// MAC verifications performed.
+    pub verifications: u64,
+    /// Pad generations performed.
+    pub encryptions: u64,
+    /// Total latency added to reads beyond the raw DRAM access.
+    pub read_overhead: SimDuration,
+    /// Total latency added to writes beyond the raw DRAM access.
+    pub write_overhead: SimDuration,
+}
+
+impl MeeStats {
+    /// Extra encryption traffic as a fraction of regular data traffic
+    /// (Table 6, "Encryption" column).
+    pub fn encryption_traffic_overhead(&self) -> f64 {
+        let regular = self.data_reads + self.data_writes;
+        if regular == 0 {
+            return 0.0;
+        }
+        (self.extra_enc_reads + self.extra_enc_writes) as f64 / regular as f64
+    }
+
+    /// Extra verification traffic as a fraction of regular data traffic
+    /// (Table 6, "Integrity Verification" column).
+    pub fn verification_traffic_overhead(&self) -> f64 {
+        let regular = self.data_reads + self.data_writes;
+        if regular == 0 {
+            return 0.0;
+        }
+        (self.extra_ver_reads + self.extra_ver_writes) as f64 / regular as f64
+    }
+
+    /// Mean latency added to each read (Table 5, "memory verification").
+    pub fn mean_read_overhead(&self) -> SimDuration {
+        if self.data_reads == 0 {
+            SimDuration::ZERO
+        } else {
+            self.read_overhead / self.data_reads
+        }
+    }
+
+    /// Mean latency added to each write (Table 5, "memory encryption").
+    pub fn mean_write_overhead(&self) -> SimDuration {
+        if self.data_writes == 0 {
+            SimDuration::ZERO
+        } else {
+            self.write_overhead / self.data_writes
+        }
+    }
+}
+
+/// Metadata block kinds, encoded in the low bits of block ids so that
+/// ids of different kinds spread across counter-cache sets (tags in high
+/// bits would alias every kind's offset 0 into the same set).
+const KIND_SPLIT: u64 = 0;
+const KIND_MAJOR: u64 = 1;
+const KIND_MAC: u64 = 2;
+const KIND_STREE: u64 = 3;
+const KIND_MTREE: u64 = 4;
+const KIND_BITS: u64 = 3;
+const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
+
+const fn meta_id(kind: u64, payload: u64) -> u64 {
+    (payload << KIND_BITS) | kind
+}
+
+const fn tree_node_payload(level: u32, index: u64) -> u64 {
+    ((level as u64) << 40) | index
+}
+
+/// DRAM line used to store a metadata block (a distinct high region of
+/// the physical address space).
+fn meta_line(id: u64) -> CacheLine {
+    CacheLine::new((1 << 44) + id)
+}
+
+/// The timing/traffic MEE.
+///
+/// See the crate docs for an example.
+#[derive(Debug)]
+pub struct MeeEngine {
+    config: MeeConfig,
+    cache: MetaCache,
+    page_class: HashMap<u64, PageClass>,
+    split_counters: HashMap<u64, SplitCounterBlock>,
+    split_tree: TreeGeometry,
+    major_tree: TreeGeometry,
+    stats: MeeStats,
+}
+
+impl MeeEngine {
+    /// Creates an engine with cold caches and zeroed counters.
+    pub fn new(config: MeeConfig) -> Self {
+        MeeEngine {
+            config,
+            cache: MetaCache::new(config.counter_cache, config.cache_ways),
+            page_class: HashMap::new(),
+            split_counters: HashMap::new(),
+            split_tree: TreeGeometry::for_leaves(config.protected_pages),
+            major_tree: TreeGeometry::for_leaves(config.protected_pages.div_ceil(8)),
+            stats: MeeStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MeeConfig {
+        &self.config
+    }
+
+    /// Declares the protection class of a DRAM page (hybrid mode only;
+    /// pages default to writable). This is the zero-cost variant used
+    /// while setting up fresh TEE memory; use
+    /// [`MeeEngine::migrate_page`] for a live permission change.
+    pub fn set_page_class(&mut self, page: u64, class: PageClass) {
+        if self.config.mode == CounterMode::Hybrid {
+            self.page_class.insert(page, class);
+        }
+    }
+
+    /// Dynamic permission change of a live page (§4.4): increments the
+    /// major counter, moves the page between the two trees, re-encrypts
+    /// all 64 lines and invalidates stale metadata. Returns the
+    /// completion time.
+    pub fn migrate_page(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        now: SimTime,
+    ) -> SimTime {
+        if self.config.mode != CounterMode::Hybrid {
+            return now;
+        }
+        let current = self.effective_class(page);
+        if current == class {
+            return now;
+        }
+        self.page_class.insert(page, class);
+        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
+        self.split_counters
+            .insert(page, SplitCounterBlock::with_major(major + 1));
+        // Stale counter metadata of the old tree must not be reused.
+        let dirty = self.cache.invalidate(self.counter_id(page, current));
+        if dirty {
+            let _ = dram.access(meta_line(self.counter_id(page, current)), MemOp::Write, now);
+            self.note_writeback(self.counter_id(page, current));
+        }
+        self.stats.migrations += 1;
+        // Re-encrypt the page under the new counter: read + write every
+        // line, one pad per line.
+        self.reencrypt_page(dram, page, now)
+    }
+
+    /// DMA-fills one whole DRAM page (flash-to-DRAM staging through the
+    /// MEE's streaming encryption path): 64 line writes plus a counter
+    /// initialization, billed separately from program traffic. Sets the
+    /// page's protection class. Returns the fill completion time.
+    pub fn fill_page(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        now: SimTime,
+    ) -> SimTime {
+        let first = CacheLine::new(page * LINES_PER_PAGE);
+        let end = dram.access_run(first, LINES_PER_PAGE, MemOp::Write, now);
+        self.stats.fill_writes += LINES_PER_PAGE;
+        if self.config.mode == CounterMode::Unprotected {
+            return end;
+        }
+        self.set_page_class(page, class);
+        // Fresh counter epoch for the filled page; the streaming cipher
+        // pipeline hides per-line AES latency at fill time. The bulk
+        // fill engine has its own counter datapath: it writes the new
+        // counter block straight to DRAM *without* polluting the
+        // core-side counter cache (the program's first read takes the
+        // compulsory miss, as in the paper's USIMM experiment).
+        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
+        self.split_counters
+            .insert(page, SplitCounterBlock::with_major(major + 1));
+        let id = self.counter_id(page, self.effective_class(page));
+        let was_cached = self.cache.invalidate(id);
+        let _ = was_cached;
+        let _ = dram.access(meta_line(id), MemOp::Write, end);
+        self.stats.extra_enc_writes += 1;
+        self.stats.encryptions += LINES_PER_PAGE;
+        end + self.config.aes_latency
+    }
+
+    /// A protected read of one cache line. Returns the time the verified
+    /// plaintext is available.
+    pub fn read_line(&mut self, dram: &mut Dram, line: CacheLine, now: SimTime) -> SimTime {
+        let data = dram.access(line, MemOp::Read, now);
+        self.stats.data_reads += 1;
+        if self.config.mode == CounterMode::Unprotected {
+            return data.end;
+        }
+        let page = line.page_index();
+        let class = self.effective_class(page);
+
+        // Counter fetch (+ verification walk on a miss).
+        let (counter_ready, counter_hit) = self.fetch_counter(dram, page, class, now);
+        // Data-MAC fetch: free when co-located with the data line.
+        let mac_ready = if self.config.mac_colocated {
+            counter_ready
+        } else {
+            self.fetch_mac(dram, line, counter_ready)
+        };
+
+        // With the counter on-chip the engine precomputes the pad while
+        // the data streams (SGX-style decryption pipelining); only a
+        // counter miss serializes the AES behind the metadata fetch.
+        let pad_ready = if counter_hit {
+            now
+        } else {
+            counter_ready + self.config.aes_latency
+        };
+        self.stats.encryptions += 1;
+        let plaintext = data.end.max(pad_ready);
+        // Recompute the data MAC and compare; pipelined unless the
+        // metadata path stalled.
+        let verify_cost = if counter_hit {
+            SimDuration::ZERO
+        } else {
+            self.config.mac_latency
+        };
+        let done = plaintext.max(mac_ready) + verify_cost;
+        self.stats.verifications += 1;
+        self.stats.read_overhead += done.saturating_since(data.end);
+        done
+    }
+
+    /// A protected write (write-back) of one cache line. Returns the
+    /// time the encrypted line and its metadata updates are complete.
+    pub fn write_line(&mut self, dram: &mut Dram, line: CacheLine, now: SimTime) -> SimTime {
+        if self.config.mode == CounterMode::Unprotected {
+            let span = dram.access(line, MemOp::Write, now);
+            self.stats.data_writes += 1;
+            return span.end;
+        }
+        let page = line.page_index();
+        let class = self.effective_class(page);
+        let class = if class == PageClass::ReadOnly {
+            // Writing a read-only page forces a permission change first.
+            let _ = self.migrate_page(dram, page, PageClass::Writable, now);
+            PageClass::Writable
+        } else {
+            class
+        };
+
+        // Counter read-modify-write.
+        let (counter_ready, counter_hit) = self.fetch_counter_for_update(dram, page, class, now);
+        let line_in_page = (line.raw() % LINES_PER_PAGE) as usize;
+        let overflowed = self
+            .split_counters
+            .entry(page)
+            .or_default()
+            .increment(line_in_page);
+        let mut t = counter_ready;
+        if overflowed {
+            self.stats.overflow_reencryptions += 1;
+            t = self.reencrypt_page(dram, page, t);
+        }
+
+        // Writes are *posted*: the store retires once the line is in
+        // the write queue, and the engine encrypts it when the queue
+        // drains — by which time the counter (fetched above, occupying
+        // DRAM but not the program) has arrived. Only a minor-counter
+        // overflow, whose page re-encryption must complete first,
+        // gates the program.
+        let _ = counter_hit;
+        let gate = if overflowed { t } else { now };
+        self.stats.encryptions += 1;
+        let data = dram.access(line, MemOp::Write, gate);
+        self.stats.data_writes += 1;
+
+        // Data-MAC update (rides with the data when co-located) and
+        // tree-path update.
+        if !self.config.mac_colocated {
+            let mac_id = meta_id(KIND_MAC, line.raw() / 8);
+            let out = self.cache.access_dirty(mac_id);
+            self.drain_writeback(dram, out.writeback, data.end);
+        }
+        let done = self.update_tree_path(dram, page, class, data.end);
+        self.stats.verifications += 1;
+        self.stats.write_overhead += done.saturating_since(data.end);
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MeeStats {
+        &self.stats
+    }
+
+    /// Counter-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// The split-counter tree geometry (for reports).
+    pub fn split_tree(&self) -> TreeGeometry {
+        self.split_tree
+    }
+
+    /// The major-counter tree geometry (for reports).
+    pub fn major_tree(&self) -> TreeGeometry {
+        self.major_tree
+    }
+
+    fn effective_class(&self, page: u64) -> PageClass {
+        match self.config.mode {
+            CounterMode::Hybrid => *self
+                .page_class
+                .get(&page)
+                .unwrap_or(&PageClass::Writable),
+            _ => PageClass::Writable,
+        }
+    }
+
+    fn counter_id(&self, page: u64, class: PageClass) -> u64 {
+        match class {
+            PageClass::Writable => meta_id(KIND_SPLIT, page),
+            PageClass::ReadOnly => meta_id(KIND_MAJOR, page / 8),
+        }
+    }
+
+    fn tree_for(&self, class: PageClass) -> (u64, TreeGeometry) {
+        match class {
+            PageClass::Writable => (KIND_STREE, self.split_tree),
+            PageClass::ReadOnly => (KIND_MTREE, self.major_tree),
+        }
+    }
+
+    fn leaf_index(&self, page: u64, class: PageClass) -> u64 {
+        match class {
+            PageClass::Writable => page % self.split_tree.leaves(),
+            PageClass::ReadOnly => (page / 8) % self.major_tree.leaves(),
+        }
+    }
+
+    /// Fetches (and on a miss, verifies) the counter block for a read.
+    /// Returns the ready time and whether the counter was cached.
+    fn fetch_counter(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        now: SimTime,
+    ) -> (SimTime, bool) {
+        let id = self.counter_id(page, class);
+        let out = self.cache.access(id);
+        self.drain_writeback(dram, out.writeback, now);
+        if out.hit {
+            return (now, true);
+        }
+        self.stats.extra_enc_reads += 1;
+        let counter_end = dram.access(meta_line(id), MemOp::Read, now).end;
+        let walk_end = self.verify_walk(dram, page, class, now);
+        (counter_end.max(walk_end), false)
+    }
+
+    /// Counter fetch for an update: identical walk, but the block ends
+    /// dirty in the cache. Returns the ready time and hit flag.
+    fn fetch_counter_for_update(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        now: SimTime,
+    ) -> (SimTime, bool) {
+        let id = self.counter_id(page, class);
+        let out = self.cache.access_dirty(id);
+        self.drain_writeback(dram, out.writeback, now);
+        if out.hit {
+            return (now, true);
+        }
+        self.stats.extra_enc_reads += 1;
+        let counter_end = dram.access(meta_line(id), MemOp::Read, now).end;
+        let walk_end = self.verify_walk(dram, page, class, now);
+        (counter_end.max(walk_end), false)
+    }
+
+    /// Walks the integrity tree from the counter leaf upward until a
+    /// cached (trusted) node or the root register. The MEE issues the
+    /// whole path's fetches in parallel with the counter fetch
+    /// (hardware walks are speculative); the exposed latency is the
+    /// slowest fetch plus one MAC check.
+    fn verify_walk(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        start: SimTime,
+    ) -> SimTime {
+        let (kind, tree) = self.tree_for(class);
+        let leaf = self.leaf_index(page, class);
+        let mut ready = start;
+        for level in 1..=tree.depth() {
+            let node_id = meta_id(kind, tree_node_payload(level, tree.ancestor(leaf, level)));
+            let out = self.cache.access(node_id);
+            self.drain_writeback(dram, out.writeback, start);
+            self.stats.verifications += 1;
+            if out.hit {
+                break; // trusted cached ancestor: stop here
+            }
+            self.stats.extra_ver_reads += 1;
+            ready = ready.max(dram.access(meta_line(node_id), MemOp::Read, start).end);
+        }
+        ready + self.config.mac_latency
+    }
+
+    /// Fetches the data-MAC block covering `line`.
+    fn fetch_mac(&mut self, dram: &mut Dram, line: CacheLine, now: SimTime) -> SimTime {
+        let mac_id = meta_id(KIND_MAC, line.raw() / 8);
+        let out = self.cache.access(mac_id);
+        self.drain_writeback(dram, out.writeback, now);
+        if out.hit {
+            now
+        } else {
+            self.stats.extra_ver_reads += 1;
+            dram.access(meta_line(mac_id), MemOp::Read, now).end
+        }
+    }
+
+    /// Dirties the counter's tree path: cached ancestors are updated in
+    /// place (lazy Bonsai propagation — uncached ancestors are left to
+    /// be recomputed when their children are written back). Off the
+    /// store's critical path: only traffic effects, no added latency.
+    fn update_tree_path(
+        &mut self,
+        dram: &mut Dram,
+        page: u64,
+        class: PageClass,
+        t: SimTime,
+    ) -> SimTime {
+        let (kind, tree) = self.tree_for(class);
+        let leaf = self.leaf_index(page, class);
+        for level in 1..=tree.depth() {
+            let node_id = meta_id(kind, tree_node_payload(level, tree.ancestor(leaf, level)));
+            if !self.cache.contains(node_id) {
+                break;
+            }
+            let out = self.cache.access_dirty(node_id);
+            self.drain_writeback(dram, out.writeback, t);
+        }
+        t
+    }
+
+    /// Whole-page re-encryption (minor overflow or permission change):
+    /// 64 line reads and 64 line writes of extra traffic.
+    fn reencrypt_page(&mut self, dram: &mut Dram, page: u64, now: SimTime) -> SimTime {
+        let first = CacheLine::new(page * LINES_PER_PAGE);
+        let mut t = now;
+        for i in 0..LINES_PER_PAGE {
+            let l = CacheLine::new(first.raw() + i);
+            let r = dram.access(l, MemOp::Read, t);
+            let w = dram.access(l, MemOp::Write, r.end + self.config.aes_latency);
+            t = w.end;
+        }
+        self.stats.extra_enc_reads += LINES_PER_PAGE;
+        self.stats.extra_enc_writes += LINES_PER_PAGE;
+        self.stats.encryptions += LINES_PER_PAGE;
+        t
+    }
+
+    /// Writes back an evicted dirty metadata block, attributing the
+    /// traffic to encryption (counters) or verification (MACs, tree
+    /// nodes).
+    fn drain_writeback(&mut self, dram: &mut Dram, victim: Option<u64>, now: SimTime) {
+        if let Some(id) = victim {
+            let _ = dram.access(meta_line(id), MemOp::Write, now);
+            self.note_writeback(id);
+        }
+    }
+
+    fn note_writeback(&mut self, id: u64) {
+        match id & KIND_MASK {
+            KIND_SPLIT | KIND_MAJOR => self.stats.extra_enc_writes += 1,
+            _ => self.stats.extra_ver_writes += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iceclave_dram::DramConfig;
+
+    fn setup(mode: CounterMode) -> (Dram, MeeEngine) {
+        let config = MeeConfig {
+            mode,
+            ..MeeConfig::hybrid()
+        };
+        (Dram::new(DramConfig::table3()), MeeEngine::new(config))
+    }
+
+    #[test]
+    fn unprotected_adds_no_overhead() {
+        let (mut dram, mut mee) = setup(CounterMode::Unprotected);
+        let t = mee.read_line(&mut dram, CacheLine::new(0), SimTime::ZERO);
+        let stats = mee.stats();
+        assert_eq!(stats.extra_enc_reads + stats.extra_ver_reads, 0);
+        assert_eq!(stats.read_overhead, SimDuration::ZERO);
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn protected_read_costs_more_than_raw() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        let protected_done = mee.read_line(&mut dram, CacheLine::new(0), SimTime::ZERO);
+        let (mut dram2, mut mee2) = setup(CounterMode::Unprotected);
+        let raw_done = mee2.read_line(&mut dram2, CacheLine::new(0), SimTime::ZERO);
+        assert!(protected_done > raw_done);
+        assert!(mee.stats().extra_enc_reads > 0);
+    }
+
+    #[test]
+    fn second_read_of_same_page_hits_counter_cache() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        mee.read_line(&mut dram, CacheLine::new(0), SimTime::ZERO);
+        let before = mee.stats().extra_enc_reads;
+        mee.read_line(&mut dram, CacheLine::new(1), SimTime::ZERO);
+        // Same page, same counter block: no extra counter fetch.
+        assert_eq!(mee.stats().extra_enc_reads, before);
+    }
+
+    #[test]
+    fn hybrid_ro_counters_cover_eight_pages() {
+        let (mut dram, mut mee) = setup(CounterMode::Hybrid);
+        for p in 0..8 {
+            mee.set_page_class(p, PageClass::ReadOnly);
+        }
+        // Touch one line of each of the 8 RO pages: one counter block.
+        for p in 0..8u64 {
+            mee.read_line(&mut dram, CacheLine::new(p * 64), SimTime::ZERO);
+        }
+        let ro_fetches = mee.stats().extra_enc_reads;
+        assert_eq!(ro_fetches, 1, "8 RO pages share one major block");
+
+        let (mut dram2, mut mee2) = setup(CounterMode::SplitOnly);
+        for p in 0..8u64 {
+            mee2.read_line(&mut dram2, CacheLine::new(p * 64), SimTime::ZERO);
+        }
+        assert_eq!(mee2.stats().extra_enc_reads, 8, "split: one per page");
+    }
+
+    #[test]
+    fn minor_overflow_reencrypts_page() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        let line = CacheLine::new(0);
+        let mut t = SimTime::ZERO;
+        // 64 writes to the same line overflow its 6-bit minor counter.
+        for _ in 0..64 {
+            t = mee.write_line(&mut dram, line, t);
+        }
+        assert_eq!(mee.stats().overflow_reencryptions, 1);
+        assert!(mee.stats().extra_enc_writes >= LINES_PER_PAGE);
+    }
+
+    #[test]
+    fn migration_changes_class_and_bills_reencryption(
+    ) {
+        let (mut dram, mut mee) = setup(CounterMode::Hybrid);
+        mee.set_page_class(3, PageClass::ReadOnly);
+        let before = mee.stats().extra_enc_writes;
+        let t = mee.migrate_page(&mut dram, 3, PageClass::Writable, SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(mee.stats().migrations, 1);
+        assert_eq!(mee.stats().extra_enc_writes - before, LINES_PER_PAGE);
+        // A second migration to the same class is free.
+        let t2 = mee.migrate_page(&mut dram, 3, PageClass::Writable, t);
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn write_to_ro_page_forces_migration() {
+        let (mut dram, mut mee) = setup(CounterMode::Hybrid);
+        mee.set_page_class(5, PageClass::ReadOnly);
+        mee.write_line(&mut dram, CacheLine::new(5 * 64), SimTime::ZERO);
+        assert_eq!(mee.stats().migrations, 1);
+    }
+
+    #[test]
+    fn write_traffic_produces_dirty_writebacks() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        // Touch many distinct pages to force counter-block evictions.
+        let mut t = SimTime::ZERO;
+        for page in 0..8192u64 {
+            t = mee.write_line(&mut dram, CacheLine::new(page * 64), t);
+        }
+        assert!(
+            mee.stats().extra_enc_writes > 0,
+            "evictions should write back dirty counters"
+        );
+    }
+
+    #[test]
+    fn stats_overheads_are_consistent() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        let mut t = SimTime::ZERO;
+        for i in 0..100u64 {
+            t = mee.read_line(&mut dram, CacheLine::new(i), t);
+        }
+        let s = mee.stats();
+        assert_eq!(s.data_reads, 100);
+        assert!(s.mean_read_overhead() > SimDuration::ZERO);
+        assert!(s.encryption_traffic_overhead() >= 0.0);
+        assert!(mee.cache_hit_rate() > 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for counters, cache and tree invariants.
+
+use iceclave_cipher::Aes128;
+use iceclave_mee::{MerkleTree, MetaCache, SplitCounterBlock, MINOR_LIMIT};
+use iceclave_types::ByteSize;
+use proptest::prelude::*;
+
+proptest! {
+    /// Line counters never repeat for any increment pattern (temporal
+    /// uniqueness — the property CTR-mode security rests on).
+    #[test]
+    fn split_counters_never_repeat(lines in prop::collection::vec(0usize..64, 1..500)) {
+        let mut block = SplitCounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        // Record the initial counter of every line we will touch.
+        for &l in &lines {
+            seen.insert((l, block.line_counter(l)));
+        }
+        for &l in &lines {
+            block.increment(l);
+            for probe in 0..64usize {
+                let c = (probe, block.line_counter(probe));
+                if seen.contains(&c) && probe == l {
+                    // The incremented line must have a fresh counter.
+                    prop_assert!(false, "counter reuse on line {l}");
+                }
+            }
+            seen.insert((l, block.line_counter(l)));
+        }
+    }
+
+    /// Minor counters stay below their 6-bit limit whatever happens.
+    #[test]
+    fn minor_counters_bounded(lines in prop::collection::vec(0usize..64, 1..2000)) {
+        let mut block = SplitCounterBlock::new();
+        for &l in &lines {
+            block.increment(l);
+            prop_assert!(block.line_counter(l) & 0x3F < u128::from(MINOR_LIMIT));
+        }
+    }
+
+    /// The cache honors inclusion: after any access pattern, the most
+    /// recently accessed block is resident.
+    #[test]
+    fn cache_mru_always_resident(blocks in prop::collection::vec(0u64..512, 1..300)) {
+        let mut cache = MetaCache::new(ByteSize::from_kib(4), 4);
+        for &b in &blocks {
+            cache.access(b);
+            prop_assert!(cache.contains(b));
+        }
+    }
+
+    /// Merkle verification accepts exactly the current leaf values and
+    /// rejects any stale one.
+    #[test]
+    fn tree_accepts_current_rejects_stale(updates in prop::collection::vec((0u64..64, prop::array::uniform8(0u8..)), 1..50)) {
+        let mut tree = MerkleTree::new(64, Aes128::new(&[9; 16]));
+        let mut current: std::collections::HashMap<u64, [u8; 8]> = Default::default();
+        let mut stale: Vec<(u64, [u8; 8])> = Vec::new();
+        for (leaf, mac) in updates {
+            if let Some(old) = current.insert(leaf, mac) {
+                if old != mac {
+                    stale.push((leaf, old));
+                }
+            }
+            tree.update_leaf(leaf, mac);
+        }
+        for (&leaf, &mac) in &current {
+            prop_assert!(tree.verify_leaf(leaf, mac));
+        }
+        for (leaf, old) in stale {
+            if current.get(&leaf) != Some(&old) {
+                prop_assert!(!tree.verify_leaf(leaf, old), "stale MAC accepted for {leaf}");
+            }
+        }
+    }
+}

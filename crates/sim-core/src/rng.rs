@@ -1,0 +1,135 @@
+//! Deterministic random number generation for reproducible experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with hierarchical sub-stream
+/// derivation.
+///
+/// Every experiment run derives all randomness from a single root seed;
+/// [`SimRng::derive`] produces independent, stable sub-streams (one per
+/// workload, per tenant, per component) so adding a new consumer never
+/// perturbs existing ones.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_sim::SimRng;
+///
+/// let mut root = SimRng::new(42);
+/// let mut a = root.derive("workload/tpch-q1");
+/// let mut b = root.derive("workload/tpch-q1");
+/// // Same label => same stream.
+/// assert_eq!(a.gen_u64(), b.gen_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a root seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent sub-stream keyed by `label`. The same
+    /// `(seed, label)` pair always yields the same stream.
+    pub fn derive(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::new(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ h)
+    }
+
+    /// The root seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A mutable reference to the underlying `rand` generator, for APIs
+    /// that take `impl Rng`.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        let root = SimRng::new(7);
+        let mut x1 = root.derive("x");
+        let mut x2 = root.derive("x");
+        let mut y = root.derive("y");
+        let a = x1.gen_u64();
+        assert_eq!(a, x2.gen_u64());
+        assert_ne!(a, y.gen_u64());
+    }
+
+    #[test]
+    fn gen_below_bound() {
+        let mut r = SimRng::new(1);
+        for _ in 0..100 {
+            assert!(r.gen_below(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_below_zero_panics() {
+        SimRng::new(1).gen_below(0);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        // Out-of-range p is clamped rather than panicking.
+        assert!(r.gen_bool(2.0));
+    }
+}

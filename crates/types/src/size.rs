@@ -1,0 +1,216 @@
+//! Byte sizes with binary-unit constructors.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A number of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_types::ByteSize;
+///
+/// let dram = ByteSize::from_gib(4);
+/// assert_eq!(dram.as_bytes(), 4 * 1024 * 1024 * 1024);
+/// assert_eq!(dram / ByteSize::from_mib(1), 4096.0);
+/// assert_eq!(format!("{dram}"), "4.00GiB");
+/// ```
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size of `n` bytes.
+    #[inline]
+    pub const fn from_bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Creates a size of `n` kibibytes.
+    #[inline]
+    pub const fn from_kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// Creates a size of `n` mebibytes.
+    #[inline]
+    pub const fn from_mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// Creates a size of `n` gibibytes.
+    #[inline]
+    pub const fn from_gib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in fractional kibibytes.
+    #[inline]
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Size in fractional mebibytes.
+    #[inline]
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Size in fractional gibibytes.
+    #[inline]
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Number of whole 4 KiB pages covered by this size (rounding up).
+    #[inline]
+    pub const fn pages(self) -> u64 {
+        self.0.div_ceil(crate::PAGE_SIZE)
+    }
+
+    /// Number of whole 64 B cache lines covered by this size (rounding up).
+    #[inline]
+    pub const fn cache_lines(self) -> u64 {
+        self.0.div_ceil(crate::CACHE_LINE_SIZE)
+    }
+
+    /// True if this size is zero bytes.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        debug_assert!(self.0 >= rhs.0, "ByteSize subtraction underflow");
+        ByteSize(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn div(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 / rhs)
+    }
+}
+
+impl Div<ByteSize> for ByteSize {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: ByteSize) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1024 * 1024 * 1024 {
+            write!(f, "{:.2}GiB", self.as_gib_f64())
+        } else if b >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.as_mib_f64())
+        } else if b >= 1024 {
+            write!(f, "{:.2}KiB", self.as_kib_f64())
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ByteSize::from_kib(2).as_bytes(), 2048);
+        assert_eq!(ByteSize::from_mib(1).as_kib_f64(), 1024.0);
+        assert_eq!(ByteSize::from_gib(1).as_mib_f64(), 1024.0);
+    }
+
+    #[test]
+    fn page_and_line_counts_round_up() {
+        assert_eq!(ByteSize::from_bytes(1).pages(), 1);
+        assert_eq!(ByteSize::from_bytes(4096).pages(), 1);
+        assert_eq!(ByteSize::from_bytes(4097).pages(), 2);
+        assert_eq!(ByteSize::from_bytes(65).cache_lines(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::from_kib(4);
+        let b = ByteSize::from_kib(1);
+        assert_eq!(a + b, ByteSize::from_kib(5));
+        assert_eq!(a - b, ByteSize::from_kib(3));
+        assert_eq!(a * 2, ByteSize::from_kib(8));
+        assert_eq!(a / 2, ByteSize::from_kib(2));
+        assert_eq!(a / b, 4.0);
+        assert_eq!(a.saturating_sub(ByteSize::from_mib(1)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ByteSize::from_bytes(12).to_string(), "12B");
+        assert_eq!(ByteSize::from_kib(3).to_string(), "3.00KiB");
+        assert_eq!(ByteSize::from_mib(5).to_string(), "5.00MiB");
+        assert_eq!(ByteSize::from_gib(2).to_string(), "2.00GiB");
+    }
+
+    #[test]
+    fn sum() {
+        let total: ByteSize = (1..=3).map(ByteSize::from_kib).sum();
+        assert_eq!(total, ByteSize::from_kib(6));
+    }
+}

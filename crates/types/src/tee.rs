@@ -1,0 +1,158 @@
+//! TEE identifiers.
+//!
+//! IceClave tags every FTL mapping-table entry with a small TEE identifier
+//! (4 bits by default, §4.3 of the paper) so that the access-control check
+//! can verify which in-storage TEE owns a logical page. [`TeeId`] models
+//! that identifier, including the configurable bit width.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of ID bits reserved per mapping-table entry (paper default: 4,
+/// a 6.25% overhead on 8-byte entries).
+pub const DEFAULT_ID_BITS: u32 = 4;
+
+/// Identifier of an in-storage TEE, stored in the ID bits of mapping-table
+/// entries.
+///
+/// Value 0 is reserved for "unowned / FTL-internal" pages; user TEEs get
+/// identifiers in `1..2^bits`.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_types::TeeId;
+///
+/// let id = TeeId::new(3)?;
+/// assert_eq!(id.raw(), 3);
+/// assert!(TeeId::new(16).is_err()); // only 4 ID bits by default
+/// # Ok::<(), iceclave_types::TeeIdError>(())
+/// ```
+#[derive(
+    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct TeeId(u8);
+
+/// Error returned when a TEE identifier does not fit in the configured ID
+/// bits.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct TeeIdError {
+    raw: u16,
+    bits: u32,
+}
+
+impl TeeId {
+    /// The reserved identifier for pages not owned by any TEE (FTL
+    /// metadata, translation pages, unclaimed user data).
+    pub const UNOWNED: TeeId = TeeId(0);
+
+    /// Creates a TEE id using the default 4-bit width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeIdError`] if `raw >= 2^4`.
+    pub fn new(raw: u16) -> Result<Self, TeeIdError> {
+        Self::with_bits(raw, DEFAULT_ID_BITS)
+    }
+
+    /// Creates a TEE id that must fit in `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeIdError`] if `raw >= 2^bits` or `bits > 8`.
+    pub fn with_bits(raw: u16, bits: u32) -> Result<Self, TeeIdError> {
+        if bits == 0 || bits > 8 || u32::from(raw) >= (1u32 << bits) {
+            return Err(TeeIdError { raw, bits });
+        }
+        Ok(TeeId(raw as u8))
+    }
+
+    /// The raw identifier value.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// True if this is the reserved unowned identifier.
+    #[inline]
+    pub const fn is_unowned(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of distinct user TEE ids available with `bits` ID bits
+    /// (excludes the reserved unowned id).
+    #[inline]
+    pub const fn capacity(bits: u32) -> usize {
+        (1usize << bits) - 1
+    }
+}
+
+impl fmt::Display for TeeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unowned() {
+            write!(f, "TEE#unowned")
+        } else {
+            write!(f, "TEE#{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TeeIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tee id {} does not fit in {} id bits",
+            self.raw, self.bits
+        )
+    }
+}
+
+impl Error for TeeIdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_width_accepts_0_to_15() {
+        for raw in 0..16 {
+            assert!(TeeId::new(raw).is_ok(), "raw={raw}");
+        }
+        assert!(TeeId::new(16).is_err());
+    }
+
+    #[test]
+    fn custom_widths() {
+        assert!(TeeId::with_bits(7, 3).is_ok());
+        assert!(TeeId::with_bits(8, 3).is_err());
+        assert!(TeeId::with_bits(0, 0).is_err());
+        assert!(TeeId::with_bits(1, 9).is_err());
+    }
+
+    #[test]
+    fn unowned_is_zero() {
+        assert!(TeeId::UNOWNED.is_unowned());
+        assert_eq!(TeeId::UNOWNED.raw(), 0);
+        assert!(!TeeId::new(1).unwrap().is_unowned());
+    }
+
+    #[test]
+    fn capacity_excludes_reserved() {
+        assert_eq!(TeeId::capacity(4), 15);
+        assert_eq!(TeeId::capacity(1), 1);
+    }
+
+    #[test]
+    fn error_message_mentions_bits() {
+        let err = TeeId::new(40).unwrap_err();
+        assert_eq!(err.to_string(), "tee id 40 does not fit in 4 id bits");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TeeId::UNOWNED.to_string(), "TEE#unowned");
+        assert_eq!(TeeId::new(5).unwrap().to_string(), "TEE#5");
+    }
+}

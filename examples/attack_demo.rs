@@ -1,0 +1,112 @@
+//! The threat model, executable (§2.3, §3): every attack the paper
+//! defends against, demonstrated first *succeeding* on the insecure
+//! ISC baseline, then *failing* against IceClave.
+//!
+//! Run with: `cargo run --example attack_demo`
+
+use iceclave_repro::iceclave_core::{IceClave, IceClaveConfig, IceClaveError};
+use iceclave_repro::iceclave_ftl::FtlError;
+use iceclave_repro::iceclave_isc::{IscConfig, IscRuntime};
+use iceclave_repro::iceclave_mee::{SecureMemory, VerifyError};
+use iceclave_repro::iceclave_types::{CacheLine, Lpn, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Attack 1: privilege escalation against the FTL ===");
+    {
+        // Baseline ISC: the privilege table is plain data in SSD DRAM.
+        let mut isc = IscRuntime::new(IscConfig::table3());
+        let t = isc.platform.populate(Lpn::new(0), 16, SimTime::ZERO)?;
+        let task = isc.offload(vec![0..4]);
+        assert!(isc.read_page(task, Lpn::new(12), t).is_err());
+        isc.corrupt_privilege_table(task, 0..16); // buffer overflow
+        assert!(isc.read_page(task, Lpn::new(12), t).is_ok());
+        println!("  ISC baseline: escalation SUCCEEDS (victim data read)");
+
+        // IceClave: ID bits live in the mapping table, writable only by
+        // the secure world; the TZASC faults any normal-world write.
+        let mut ice = IceClave::new(IceClaveConfig::table3());
+        let t = ice.populate(Lpn::new(0), 16, SimTime::ZERO)?;
+        let victim_pages: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+        let attacker_pages: Vec<Lpn> = (8..16).map(Lpn::new).collect();
+        let (_victim, t) = ice.offload_code(4096, &victim_pages, t)?;
+        let (attacker, t) = ice.offload_code(4096, &attacker_pages, t)?;
+        let err = ice.read_flash_page(attacker, Lpn::new(0), t).unwrap_err();
+        assert!(matches!(
+            err,
+            IceClaveError::Ftl(FtlError::AccessDenied { .. })
+        ));
+        let fault = ice.attempt_mapping_table_write().unwrap_err();
+        println!("  IceClave: ID-bit check BLOCKS the probe ({err})");
+        println!("  IceClave: mapping-table write FAULTS ({fault})");
+    }
+
+    println!("\n=== Attack 2: bus snooping on the flash data path ===");
+    {
+        let mut isc = IscRuntime::new(IscConfig::table3());
+        let t = isc.platform.populate(Lpn::new(0), 1, SimTime::ZERO)?;
+        let tr = isc.platform.ftl.translate(
+            iceclave_repro::iceclave_ftl::Requestor::Host,
+            Lpn::new(0),
+            &mut isc.platform.monitor,
+            t,
+        )?;
+        isc.platform
+            .ftl
+            .flash_mut()
+            .write_data(tr.ppn, b"patient records");
+        let snooped = isc.snoop_flash_transfer(Lpn::new(0), t).unwrap();
+        println!(
+            "  ISC baseline: snooper reads {:?}",
+            String::from_utf8_lossy(&snooped)
+        );
+
+        // IceClave: the Trivium engine ciphers the transfer; the same
+        // page snooped on the bus is ciphertext.
+        let mut ice = IceClave::new(IceClaveConfig::table3());
+        let plain = b"patient records".to_vec();
+        let (ciphertext, _iv) = ice.cipher_mut().encrypt_page(0, &plain);
+        assert_ne!(ciphertext, plain);
+        println!("  IceClave: snooper sees ciphertext {:02x?}...", &ciphertext[..8]);
+    }
+
+    println!("\n=== Attack 3: physical attacks on in-SSD DRAM ===");
+    {
+        let mut mem = SecureMemory::new(64, [1; 16], [2; 16]);
+        let line = CacheLine::new(7);
+        mem.write_line(line, &[0x42; 64]);
+
+        // Cold-boot / probe: stored bytes are ciphertext.
+        let snooped = mem.snoop_line(line).unwrap();
+        assert_ne!(snooped, [0x42; 64]);
+        println!("  DRAM content at rest is ciphertext: {:02x?}...", &snooped[..8]);
+
+        // Tampering: flip one bit.
+        mem.tamper_line(line, |c| c[0] ^= 1);
+        assert_eq!(mem.read_line(line), Err(VerifyError::MacMismatch(line)));
+        println!("  bit-flip DETECTED by the line MAC");
+
+        // Replay: roll ciphertext+MAC back to an older snapshot.
+        let mut mem = SecureMemory::new(64, [1; 16], [2; 16]);
+        mem.write_line(line, &[1; 64]);
+        let old = mem.snapshot_line(line).unwrap();
+        mem.write_line(line, &[2; 64]);
+        mem.replay_line(line, &old);
+        assert!(mem.read_line(line).is_err());
+        println!("  replay DETECTED (counter/Merkle mismatch)");
+
+        // Counter rollback: the Bonsai Merkle Tree catches it.
+        let mut mem = SecureMemory::new(64, [1; 16], [2; 16]);
+        mem.write_line(line, &[3; 64]);
+        mem.tamper_counter(0, |block| {
+            block.increment(7);
+        });
+        assert_eq!(
+            mem.read_line(line),
+            Err(VerifyError::CounterIntegrity { page: 0 })
+        );
+        println!("  counter tamper DETECTED by the integrity tree");
+    }
+
+    println!("\nall attacks blocked by IceClave; baseline remains vulnerable.");
+    Ok(())
+}

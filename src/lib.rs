@@ -1,0 +1,28 @@
+//! Umbrella crate for the IceClave reproduction.
+//!
+//! Re-exports the workspace's public API so examples and integration
+//! tests can depend on a single crate. See the individual crates for
+//! full documentation:
+//!
+//! * [`iceclave_core`] — the IceClave TEE runtime (the paper's
+//!   contribution).
+//! * [`iceclave_experiments`] — reproductions of every table/figure.
+//! * [`iceclave_workloads`] — the eleven evaluation workloads.
+//! * Substrates: [`iceclave_flash`], [`iceclave_ftl`], [`iceclave_dram`],
+//!   [`iceclave_mee`], [`iceclave_cipher`], [`iceclave_trustzone`],
+//!   [`iceclave_cpu`], [`iceclave_isc`], [`iceclave_sim`],
+//!   [`iceclave_types`].
+
+pub use iceclave_cipher;
+pub use iceclave_core;
+pub use iceclave_cpu;
+pub use iceclave_dram;
+pub use iceclave_experiments;
+pub use iceclave_flash;
+pub use iceclave_ftl;
+pub use iceclave_isc;
+pub use iceclave_mee;
+pub use iceclave_sim;
+pub use iceclave_trustzone;
+pub use iceclave_types;
+pub use iceclave_workloads;
