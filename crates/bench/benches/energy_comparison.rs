@@ -4,5 +4,8 @@
 
 fn main() {
     iceclave_bench::banner("energy");
-    println!("{}", iceclave_experiments::figures::energy_table(&iceclave_bench::bench_config()));
+    println!(
+        "{}",
+        iceclave_experiments::figures::energy_table(&iceclave_bench::bench_config())
+    );
 }

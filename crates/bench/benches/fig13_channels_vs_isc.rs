@@ -1,8 +1,83 @@
-//! Regenerates the paper's fig13 (see DESIGN.md experiment index).
-//! Runs as a `harness = false` bench target so `cargo bench`
-//! reproduces the artifact.
+//! Figure 13 (channel sweep vs ISC), rebuilt on the batched data path:
+//! criterion benches that push a 64-page batch through
+//! `IceClave::submit_batch` at 2/4/8/16 channels for both the secured
+//! runtime and the unprotected ISC configuration, reporting the
+//! security overhead at every channel count.
+//!
+//! The full per-workload figure table remains available via
+//! `cargo run -p iceclave_bench --bin repro`.
 
-fn main() {
-    iceclave_bench::banner("fig13");
-    println!("{}", iceclave_experiments::figures::fig13(&iceclave_bench::bench_config()));
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use iceclave_core::IceClave;
+use iceclave_experiments::{Mode, Overrides};
+use iceclave_types::{Lpn, SimDuration, SimTime, PAGE_SIZE};
+
+const BATCH_PAGES: u64 = 64;
+const CHANNELS: [u32; 4] = [2, 4, 8, 16];
+
+/// A populated runtime with an offloaded TEE owning `BATCH_PAGES`
+/// pages, under `mode` at `channels`.
+fn setup(mode: Mode, channels: u32) -> (IceClave, iceclave_types::TeeId, SimTime) {
+    let overrides = Overrides {
+        channels: Some(channels),
+        ..Overrides::none()
+    };
+    let config = mode.ssd_config(&overrides);
+    let mut ice = IceClave::new(config);
+    let t = ice
+        .populate(Lpn::new(0), BATCH_PAGES, SimTime::ZERO)
+        .expect("population fits");
+    let lpns: Vec<Lpn> = (0..BATCH_PAGES).map(Lpn::new).collect();
+    let (tee, t) = ice.offload_code(64 << 10, &lpns, t).expect("offload");
+    (ice, tee, t)
 }
+
+/// Simulated latency of one 64-page batch under `mode` at `channels`.
+fn simulated_batch_latency(mode: Mode, channels: u32) -> SimDuration {
+    let (mut ice, tee, t) = setup(mode, channels);
+    let lpns: Vec<Lpn> = (0..BATCH_PAGES).map(Lpn::new).collect();
+    ice.submit_batch(tee, &lpns, t)
+        .expect("granted batch")
+        .latency()
+}
+
+fn bench_channel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_submit_batch_vs_isc");
+    group.throughput(Throughput::Bytes(BATCH_PAGES * PAGE_SIZE));
+    let lpns: Vec<Lpn> = (0..BATCH_PAGES).map(Lpn::new).collect();
+    for &channels in &CHANNELS {
+        let ice_latency = simulated_batch_latency(Mode::IceClave, channels);
+        let isc_latency = simulated_batch_latency(Mode::Isc, channels);
+        println!(
+            "fig13 ch{channels:<2}: IceClave {ice_latency} vs ISC {isc_latency} \
+             ({:+.1}% security overhead)",
+            (ice_latency / isc_latency - 1.0) * 100.0
+        );
+
+        // Time ONLY the batched data path — device construction stays
+        // outside the measured region.
+        for (label, mode) in [("iceclave_64p", Mode::IceClave), ("isc_64p", Mode::Isc)] {
+            let (mut ice, tee, t) = setup(mode, channels);
+            group.bench_with_input(BenchmarkId::new(label, channels), &channels, |b, _| {
+                b.iter(|| {
+                    ice.submit_batch(tee, &lpns, t)
+                        .expect("granted batch")
+                        .finished
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_channel_sweep
+}
+criterion_main!(benches);

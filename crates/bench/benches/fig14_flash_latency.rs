@@ -4,5 +4,8 @@
 
 fn main() {
     iceclave_bench::banner("fig14");
-    println!("{}", iceclave_experiments::figures::fig14(&iceclave_bench::bench_config()));
+    println!(
+        "{}",
+        iceclave_experiments::figures::fig14(&iceclave_bench::bench_config())
+    );
 }

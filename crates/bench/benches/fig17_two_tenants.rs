@@ -4,5 +4,8 @@
 
 fn main() {
     iceclave_bench::banner("fig17");
-    println!("{}", iceclave_experiments::figures::fig17(&iceclave_bench::bench_config()));
+    println!(
+        "{}",
+        iceclave_experiments::figures::fig17(&iceclave_bench::bench_config())
+    );
 }

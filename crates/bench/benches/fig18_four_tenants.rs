@@ -4,5 +4,8 @@
 
 fn main() {
     iceclave_bench::banner("fig18");
-    println!("{}", iceclave_experiments::figures::fig18(&iceclave_bench::bench_config()));
+    println!(
+        "{}",
+        iceclave_experiments::figures::fig18(&iceclave_bench::bench_config())
+    );
 }

@@ -4,5 +4,8 @@
 
 fn main() {
     iceclave_bench::banner("table1");
-    println!("{}", iceclave_experiments::figures::table1(&iceclave_bench::bench_config()));
+    println!(
+        "{}",
+        iceclave_experiments::figures::table1(&iceclave_bench::bench_config())
+    );
 }

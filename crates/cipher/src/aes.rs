@@ -78,12 +78,8 @@ fn build_sbox() -> [u8; 256] {
             result
         };
         let b = inv;
-        sbox[x as usize] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        sbox[x as usize] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
     }
     sbox
 }

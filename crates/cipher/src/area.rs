@@ -62,10 +62,8 @@ impl Default for CipherAreaModel {
 impl CipherAreaModel {
     /// Evaluates the model.
     pub fn report(&self) -> AreaReport {
-        let logic_mm2 =
-            (self.core_gates as f64 * f64::from(self.channels)) / self.gates_per_mm2;
-        let sram_bits =
-            self.buffer_per_channel.as_bytes() as f64 * 8.0 * f64::from(self.channels);
+        let logic_mm2 = (self.core_gates as f64 * f64::from(self.channels)) / self.gates_per_mm2;
+        let sram_bits = self.buffer_per_channel.as_bytes() as f64 * 8.0 * f64::from(self.channels);
         let sram_mm2 = sram_bits / self.sram_bits_per_mm2;
         let total_mm2 = logic_mm2 + sram_mm2;
         AreaReport {

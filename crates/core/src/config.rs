@@ -61,8 +61,7 @@ impl IceClaveConfig {
 
     /// Number of TEE region slots available in the normal region.
     pub fn region_slots(&self) -> u64 {
-        let reserved = self.secure_region.as_bytes()
-            + self.platform.ftl.cmt_capacity.as_bytes();
+        let reserved = self.secure_region.as_bytes() + self.platform.ftl.cmt_capacity.as_bytes();
         let normal = self
             .platform
             .dram

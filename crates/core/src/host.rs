@@ -176,10 +176,7 @@ impl HostLibrary {
         tid: u32,
         now: SimTime,
     ) -> Result<SimTime, HostError> {
-        let tee = self
-            .tasks
-            .remove(&tid)
-            .ok_or(HostError::UnknownTask(tid))?;
+        let tee = self.tasks.remove(&tid).ok_or(HostError::UnknownTask(tid))?;
         Ok(device.terminate_tee(tee, now)?)
     }
 

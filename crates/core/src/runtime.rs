@@ -5,14 +5,16 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use iceclave_cipher::CipherEngine;
+use iceclave_cipher::{CipherEngine, PageIv};
 use iceclave_cpu::OpCounts;
 use iceclave_ftl::{FtlError, Requestor};
 use iceclave_isc::SsdPlatform;
-use iceclave_mee::{MeeEngine, PageClass};
+use iceclave_mee::{MeeEngine, PageClass, PageFill};
+use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
-    ByteSize, CacheLine, Lpn, Ppn, SimTime, TeeId, LINES_PER_PAGE, PAGE_SIZE,
+    BatchCompletion, BatchRequest, ByteSize, CacheLine, Lpn, PageCompletion, Ppn, SimTime, TeeId,
+    LINES_PER_PAGE, PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
@@ -116,7 +118,7 @@ impl From<ProtectionFault> for IceClaveError {
 }
 
 /// Runtime counters for reports.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
 pub struct RuntimeStats {
     /// TEEs created.
     pub created: u64,
@@ -162,6 +164,16 @@ pub struct IceClave {
     platform: SsdPlatform,
     mee: MeeEngine,
     cipher: CipherEngine,
+    /// Per-channel stream-decipher engines (§5 puts the cipher units
+    /// between the flash controllers and the internal bus, so each
+    /// channel deciphers its own stream): one page per engine at a
+    /// time, overlapping with the other channels' transfers.
+    decrypt_lanes: Vec<Pipeline>,
+    /// Per-LPN IVs of functionally encrypted page content (the model's
+    /// stand-in for the IV metadata the controller keeps in the
+    /// out-of-band area). Keyed by LPN so GC relocation cannot orphan
+    /// them.
+    page_ivs: HashMap<u64, PageIv>,
     memory_map: MemoryMap,
     config: IceClaveConfig,
     tees: HashMap<u8, TeeState>,
@@ -212,6 +224,10 @@ impl IceClave {
             platform,
             mee: MeeEngine::new(config.mee),
             cipher: CipherEngine::new([0x1C; 10], config.cipher_clock, 0xACE1_CAFE),
+            decrypt_lanes: (0..config.platform.flash.geometry.channels)
+                .map(|i| Pipeline::new(format!("decrypt-engine{i}")))
+                .collect(),
+            page_ivs: HashMap::new(),
             memory_map,
             config,
             tees: HashMap::new(),
@@ -293,10 +309,7 @@ impl IceClave {
         {
             return Err(IceClaveError::CodeTooLarge {
                 requested,
-                limit: self
-                    .config
-                    .max_code_size
-                    .min(self.config.tee_region),
+                limit: self.config.max_code_size.min(self.config.tee_region),
             });
         }
         let id = self.free_ids.pop().ok_or(IceClaveError::NoFreeIds)?;
@@ -321,7 +334,8 @@ impl IceClave {
         // Working half starts writable; input half becomes read-only as
         // it is filled.
         for p in region_pages / 2..region_pages {
-            self.mee.set_page_class(region_page + p, PageClass::Writable);
+            self.mee
+                .set_page_class(region_page + p, PageClass::Writable);
         }
         self.tees.insert(
             id.raw(),
@@ -357,10 +371,12 @@ impl IceClave {
         now: SimTime,
     ) -> Result<(Ppn, SimTime), IceClaveError> {
         self.ensure_running(tee)?;
-        let translation =
-            self.platform
-                .ftl
-                .translate(Requestor::Tee(tee), lpn, &mut self.platform.monitor, now)?;
+        let translation = self.platform.ftl.translate(
+            Requestor::Tee(tee),
+            lpn,
+            &mut self.platform.monitor,
+            now,
+        )?;
         Ok((translation.ppn, translation.ready_at))
     }
 
@@ -369,9 +385,15 @@ impl IceClave {
     /// DRAM fill (workflow steps 3–6 of Figure 9). The page is filled
     /// read-only (streaming input, §4.4).
     ///
+    /// This is a one-element [`IceClave::submit_batch`]; programs that
+    /// know their page set ahead of time should batch instead and let
+    /// the device overlap the channels.
+    ///
     /// # Errors
     ///
-    /// Access-control or FTL errors; the TEE must be running.
+    /// Access-control or FTL errors; the TEE must be running. An
+    /// access-control denial throws the TEE out (see
+    /// [`IceClave::submit_batch`]).
     pub fn read_flash_page(
         &mut self,
         tee: TeeId,
@@ -397,26 +419,198 @@ impl IceClave {
         class: PageClass,
         now: SimTime,
     ) -> Result<SimTime, IceClaveError> {
+        let batch = self.submit_batch_as(tee, &[lpn], class, now)?;
+        Ok(batch.finished)
+    }
+
+    /// Submits a multi-page read as one batch, filling the pages
+    /// read-only (streaming input, §4.4). See
+    /// [`IceClave::submit_batch_as`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_batch_as`].
+    pub fn submit_batch(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<BatchCompletion, IceClaveError> {
+        self.submit_batch_as(tee, lpns, PageClass::ReadOnly, now)
+    }
+
+    /// The batched protected data path: translates, permission-checks,
+    /// reads, deciphers and MEE-fills a whole page set as one
+    /// channel-parallel request.
+    ///
+    /// Pipeline shape (workflow steps 3–6 of Figure 9, batched):
+    ///
+    /// 1. every page is translated through the protected mapping table
+    ///    (ID-bit check included) up front — a denied page aborts the
+    ///    batch *before any flash traffic* and throws the TEE out
+    ///    (§4.5: access violations are fatal to the enclave);
+    /// 2. the FTL buckets the physical pages into per-channel queues
+    ///    and issues them round-robin, so the channel buses fill
+    ///    concurrently;
+    /// 3. each channel's stream-decipher engine drains its pages in
+    ///    flash-completion order, overlapping decryption with the
+    ///    other channels' transfers;
+    /// 4. the MEE fill datapath writes each deciphered page into the
+    ///    TEE's input ring (counter initialization overlapped the same
+    ///    way).
+    ///
+    /// Returns per-page completion times (and deciphered content for
+    /// pages with functional data) in request order.
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running. On [`FtlError::AccessDenied`] the TEE
+    /// is thrown out ([`AbortReason::AccessViolation`]) and the error
+    /// is returned; other FTL errors pass through with the TEE intact.
+    pub fn submit_batch_as(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        class: PageClass,
+        now: SimTime,
+    ) -> Result<BatchCompletion, IceClaveError> {
         self.ensure_running(tee)?;
-        let flash_done =
+        if lpns.is_empty() {
+            return Ok(BatchCompletion::empty(now));
+        }
+        let batch = BatchRequest::from_lpns(lpns);
+        let reads = match self.platform.ftl.read_batch(
+            Requestor::Tee(tee),
+            &batch,
+            &mut self.platform.monitor,
+            now,
+        ) {
+            Ok(reads) => reads,
+            Err(e @ FtlError::AccessDenied { .. }) => {
+                // ThrowOutTEE: touching a page outside the granted
+                // region is an access violation, not a recoverable
+                // error (§4.5).
+                self.throw_out(tee, AbortReason::AccessViolation, now)?;
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // Stage 3: stream decryption. Each channel's cipher engine
+        // drains its own pages in flash-completion order, overlapping
+        // with the other channels' transfers and decrypts.
+        let flash_ready: Vec<SimTime> = reads.iter().map(|r| r.flash.end).collect();
+        let deciphered: Vec<SimTime> = if self.config.cipher_enabled {
+            let service = self.cipher.page_latency(PAGE_SIZE);
+            let geometry = self.platform.ftl.flash().config().geometry;
+            let mut by_channel: Vec<Vec<usize>> = vec![Vec::new(); self.decrypt_lanes.len()];
+            for (idx, read) in reads.iter().enumerate() {
+                by_channel[geometry.unpack(read.ppn).channel as usize].push(idx);
+            }
+            let mut deciphered = flash_ready.clone();
+            for (channel, idxs) in by_channel.iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let ready: Vec<SimTime> = idxs.iter().map(|&i| flash_ready[i]).collect();
+                let spans = self.decrypt_lanes[channel].drain(&ready, service);
+                for (pos, &i) in idxs.iter().enumerate() {
+                    deciphered[i] = spans[pos].end;
+                }
+            }
+            deciphered
+        } else {
+            flash_ready
+        };
+
+        // Stage 4: MEE fills into the input ring. Slots are assigned in
+        // *request* order so the ring semantics match N sequential
+        // reads exactly.
+        let fills: Vec<PageFill> = {
+            let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
+            deciphered
+                .iter()
+                .map(|&ready| {
+                    let slot = state.region_page + (state.next_fill % state.input_pages());
+                    state.next_fill += 1;
+                    PageFill {
+                        page: slot,
+                        class,
+                        ready,
+                    }
+                })
+                .collect()
+        };
+        let done = self.mee.fill_pages(&mut self.platform.dram, &fills);
+        self.stats.pages_loaded += lpns.len() as u64;
+
+        let completions: Vec<PageCompletion> = reads
+            .iter()
+            .zip(&done)
+            .map(|(read, &ready_at)| PageCompletion {
+                lpn: read.lpn,
+                ready_at,
+                data: self.decipher_content(read.lpn, read.ppn),
+            })
+            .collect();
+        let finished = done.iter().copied().max().unwrap_or(now);
+        Ok(BatchCompletion {
+            issued: now,
+            finished,
+            completions,
+        })
+    }
+
+    /// Host-side data staging with functional content: encrypts
+    /// `plaintext` through the controller's stream cipher (all data
+    /// crossing the flash boundary is ciphertext, §5) and stores it at
+    /// `lpn`'s physical page. The page must already be populated.
+    ///
+    /// # Errors
+    ///
+    /// FTL errors if `lpn` is unmapped.
+    pub fn host_store_data(
+        &mut self,
+        lpn: Lpn,
+        plaintext: &[u8],
+        now: SimTime,
+    ) -> Result<(), IceClaveError> {
+        let translation =
             self.platform
                 .ftl
-                .read(Requestor::Tee(tee), lpn, &mut self.platform.monitor, now)?;
-        // Stream decipher pipelines with the bus transfer; the exposed
-        // cost is the engine drain.
-        let deciphered = if self.config.cipher_enabled {
-            flash_done + self.cipher.page_latency(PAGE_SIZE)
+                .translate(Requestor::Host, lpn, &mut self.platform.monitor, now)?;
+        if self.config.cipher_enabled {
+            let (ciphertext, iv) = self.cipher.encrypt_page(lpn.raw() as u32, plaintext);
+            self.platform
+                .ftl
+                .flash_mut()
+                .write_data(translation.ppn, &ciphertext);
+            self.page_ivs.insert(lpn.raw(), iv);
         } else {
-            flash_done
-        };
-        let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
-        let fill_slot = state.region_page + (state.next_fill % state.input_pages());
-        state.next_fill += 1;
-        let done = self
-            .mee
-            .fill_page(&mut self.platform.dram, fill_slot, class, deciphered);
-        self.stats.pages_loaded += 1;
-        Ok(done)
+            self.platform
+                .ftl
+                .flash_mut()
+                .write_data(translation.ppn, plaintext);
+        }
+        Ok(())
+    }
+
+    /// Deciphers the functional content of a page, if any was stored.
+    /// Pages staged through [`IceClave::host_store_data`] come back as
+    /// the original plaintext; content written directly to flash (no
+    /// recorded IV) is returned as stored.
+    fn decipher_content(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Vec<u8>> {
+        let stored = self.platform.ftl.flash().read_data(ppn)?.to_vec();
+        if !self.config.cipher_enabled {
+            return Some(stored);
+        }
+        match self.page_ivs.get(&lpn.raw()) {
+            Some(iv) => {
+                let iv = *iv;
+                Some(self.cipher.decrypt_page(&iv, &stored))
+            }
+            None => Some(stored),
+        }
     }
 
     /// A protected read of one cache line at `line_offset` within the
@@ -564,8 +758,7 @@ impl IceClave {
     /// Always returns the [`ProtectionFault`] (as an error) — that is
     /// the point.
     pub fn attempt_mapping_table_write(&self) -> Result<(), IceClaveError> {
-        let table_addr =
-            iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
+        let table_addr = iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
         self.memory_map
             .check(World::Normal, table_addr, AccessType::Write)?;
         Ok(())
@@ -579,8 +772,7 @@ impl IceClave {
     ///
     /// Never for the protected region; present for symmetry.
     pub fn attempt_mapping_table_read(&self) -> Result<(), IceClaveError> {
-        let table_addr =
-            iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
+        let table_addr = iceclave_types::PhysAddr::new(self.config.secure_region.as_bytes() + 64);
         self.memory_map
             .check(World::Normal, table_addr, AccessType::Read)?;
         Ok(())
@@ -686,9 +878,7 @@ mod tests {
     #[test]
     fn oversized_binary_is_rejected() {
         let (mut ice, t) = setup_with_data(2);
-        let err = ice
-            .offload_code(64 << 20, &lpns(0..2), t)
-            .unwrap_err();
+        let err = ice.offload_code(64 << 20, &lpns(0..2), t).unwrap_err();
         assert!(matches!(err, IceClaveError::CodeTooLarge { .. }));
     }
 
@@ -714,8 +904,7 @@ mod tests {
     fn region_violation_throws_the_tee_out() {
         let (mut ice, t) = setup_with_data(2);
         let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
-        let region_lines =
-            ice.config().tee_region.as_bytes() / 64;
+        let region_lines = ice.config().tee_region.as_bytes() / 64;
         let err = ice.mem_read(tee, region_lines + 1, t).unwrap_err();
         assert!(matches!(err, IceClaveError::RegionViolation { .. }));
         assert_eq!(
@@ -800,7 +989,8 @@ mod tests {
     fn throw_out_records_reason() {
         let (mut ice, t) = setup_with_data(2);
         let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
-        ice.throw_out(tee, AbortReason::IntegrityFailure, t).unwrap();
+        ice.throw_out(tee, AbortReason::IntegrityFailure, t)
+            .unwrap();
         assert_eq!(
             ice.status(tee),
             Some(TeeStatus::Aborted(AbortReason::IntegrityFailure))

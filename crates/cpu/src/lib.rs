@@ -35,14 +35,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use iceclave_types::{ByteSize, Hertz, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Operator classes whose costs differ enough to model separately.
 ///
 /// Base costs (cycles per operation on a scalar in-order reference
 /// machine) are embedded in [`OpClass::reference_cycles`]; core models
 /// scale them by their effective IPC.
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub enum OpClass {
     /// Materialize/advance over one tuple during a scan.
     ScanTuple,
@@ -107,7 +106,7 @@ impl fmt::Display for OpClass {
 
 /// A bag of operation counts: the compute demand of (part of) a
 /// workload.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
     counts: BTreeMap<OpClass, u64>,
 }
@@ -157,7 +156,7 @@ impl OpCounts {
 }
 
 /// Pipeline style, which sets the effective IPC band.
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum PipelineKind {
     /// In-order issue (Cortex-A53 class).
     InOrder,
@@ -167,7 +166,7 @@ pub enum PipelineKind {
 
 /// An analytic core model: frequency plus effective IPC on the operator
 /// mix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CoreModel {
     name: String,
     freq: Hertz,
@@ -286,7 +285,7 @@ impl CoreModel {
 /// access — is modelled for real by running the host access stream
 /// through a split-counter `iceclave_mee::MeeEngine`; this struct
 /// carries only the SGX-specific constants.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SgxModel {
     /// Usable enclave page cache.
     pub epc: ByteSize,
@@ -398,8 +397,7 @@ mod tests {
         let ops = scan_heavy();
         let host = CoreModel::i7_7700k();
         let a72 = CoreModel::a72_1_6ghz();
-        let time_ratio =
-            a72.time_for(&ops).as_nanos_f64() / host.time_for(&ops).as_nanos_f64();
+        let time_ratio = a72.time_for(&ops).as_nanos_f64() / host.time_for(&ops).as_nanos_f64();
         assert!((host.speedup_over(&a72) - time_ratio).abs() / time_ratio < 0.01);
     }
 

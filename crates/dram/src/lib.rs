@@ -32,10 +32,9 @@
 
 use iceclave_sim::{Resource, ServiceSpan};
 use iceclave_types::{ByteSize, CacheLine, Hertz, SimDuration, SimTime, CACHE_LINE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// Read or write, the two DRAM operations the model distinguishes.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum MemOp {
     /// A cache-line read.
     Read,
@@ -55,7 +54,7 @@ pub enum RowOutcome {
 }
 
 /// DDR3 device and timing configuration (Table 3).
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct DramConfig {
     /// Independent channels.
     pub channels: u32,
@@ -252,13 +251,10 @@ impl Dram {
         let (outcome, occupancy_cycles) = {
             let bank = &self.banks[bank_idx];
             match bank.open_row {
-                Some(open) if open == row => {
-                    (RowOutcome::Hit, u64::from(self.config.burst_cycles))
-                }
+                Some(open) if open == row => (RowOutcome::Hit, u64::from(self.config.burst_cycles)),
                 Some(_) => {
-                    let mut cycles = u64::from(
-                        self.config.t_rp + self.config.t_rcd + self.config.burst_cycles,
-                    );
+                    let mut cycles =
+                        u64::from(self.config.t_rp + self.config.t_rcd + self.config.burst_cycles);
                     if bank.last_was_write {
                         cycles += u64::from(self.config.t_wr);
                     }
@@ -274,7 +270,8 @@ impl Dram {
         // On a conflict the precharge may additionally wait for tRAS since
         // the previous activate.
         let mut earliest_start = if outcome == RowOutcome::Conflict {
-            let ras_done = self.banks[bank_idx].last_activate + clock.cycles(self.config.t_ras.into());
+            let ras_done =
+                self.banks[bank_idx].last_activate + clock.cycles(self.config.t_ras.into());
             arrival.max(ras_done)
         } else {
             arrival

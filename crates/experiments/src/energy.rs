@@ -8,10 +8,9 @@
 //! relative comparisons are meaningful.
 
 use iceclave_types::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Per-operation energy constants (documented technology assumptions).
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct EnergyModel {
     /// NAND page read, µJ (mid-2010s TLC: ~50 µJ / 4 KiB page).
     pub flash_read_uj: f64,
@@ -44,7 +43,7 @@ impl Default for EnergyModel {
 }
 
 /// Activity counters for one run (extracted from component stats).
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct Activity {
     /// Flash pages read.
     pub flash_reads: u64,
@@ -63,7 +62,7 @@ pub struct Activity {
 }
 
 /// Energy breakdown in microjoules.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct EnergyBreakdown {
     /// Flash array energy.
     pub flash_uj: f64,

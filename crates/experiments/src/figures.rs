@@ -159,11 +159,18 @@ pub fn table5(cfg: &WorkloadConfig) -> FigureReport {
         let _ = &r;
     }
     // Per-operation means come from a dedicated micro-run.
-    let micro = run(Mode::IceClaveSc64, WorkloadKind::TpcB, cfg, &Overrides::none());
+    let micro = run(
+        Mode::IceClaveSc64,
+        WorkloadKind::TpcB,
+        cfg,
+        &Overrides::none(),
+    );
     table.row(&[
         "Memory encryption (mean/write)".to_string(),
-        format!("{:.1} ns", micro.mem_time.as_nanos_f64()
-            / micro.output.rows.max(1) as f64),
+        format!(
+            "{:.1} ns",
+            micro.mem_time.as_nanos_f64() / micro.output.rows.max(1) as f64
+        ),
         "102.6 ns".to_string(),
     ]);
     table.row(&[
@@ -197,7 +204,13 @@ pub fn table5(cfg: &WorkloadConfig) -> FigureReport {
 pub fn table6(cfg: &WorkloadConfig) -> FigureReport {
     let mut table = TextTable::new(
         "Table 6: extra memory traffic of memory protection",
-        &["workload", "encryption", "verification", "paper enc", "paper ver"],
+        &[
+            "workload",
+            "encryption",
+            "verification",
+            "paper enc",
+            "paper ver",
+        ],
     );
     let paper: &[(WorkloadKind, f64, f64)] = &[
         (WorkloadKind::Arithmetic, 0.0305, 0.0227),
@@ -523,11 +536,7 @@ pub fn fig18(cfg: &WorkloadConfig) -> FigureReport {
     for quad in quads {
         let norm = colocation_normalized_speedup(&quad, cfg);
         slowdowns.push(1.0 - norm);
-        let label = quad
-            .iter()
-            .map(|k| short(*k))
-            .collect::<Vec<_>>()
-            .join("+");
+        let label = quad.iter().map(|k| short(*k)).collect::<Vec<_>>().join("+");
         table.row(&[label, format!("{norm:.3}")]);
     }
     FigureReport {
@@ -553,8 +562,8 @@ fn colocation_normalized_speedup(kinds: &[WorkloadKind], cfg: &WorkloadConfig) -
 /// memory-time to that choice on a read-streaming and a write-heavy
 /// workload).
 pub fn ablation_counter_cache(cfg: &WorkloadConfig) -> FigureReport {
-    use iceclave_core::IceClaveConfig;
     use crate::run::run_with_config;
+    use iceclave_core::IceClaveConfig;
 
     let sizes_kib = [32u64, 64, 128, 256];
     let mut table = TextTable::new(
@@ -592,7 +601,13 @@ pub fn ablation_counter_cache(cfg: &WorkloadConfig) -> FigureReport {
 pub fn energy_table(cfg: &WorkloadConfig) -> FigureReport {
     let mut table = TextTable::new(
         "Energy (derived): host vs in-storage, and the security share",
-        &["workload", "Host mJ", "ISC mJ", "IceClave mJ", "security share"],
+        &[
+            "workload",
+            "Host mJ",
+            "ISC mJ",
+            "IceClave mJ",
+            "security share",
+        ],
     );
     let mut sec_fracs = Vec::new();
     let mut savings = Vec::new();

@@ -118,12 +118,10 @@ impl Overrides {
 
     fn apply(&self, config: &mut IceClaveConfig) {
         if let Some(channels) = self.channels {
-            config.platform.flash.geometry =
-                config.platform.flash.geometry.with_channels(channels);
+            config.platform.flash.geometry = config.platform.flash.geometry.with_channels(channels);
         }
         if let Some(latency) = self.flash_read_latency {
-            config.platform.flash.timing =
-                config.platform.flash.timing.with_read_latency(latency);
+            config.platform.flash.timing = config.platform.flash.timing.with_read_latency(latency);
         }
         if let Some(core) = &self.core {
             config.platform.core_model = core.clone();
@@ -171,10 +169,7 @@ mod tests {
         };
         let c = Mode::IceClave.ssd_config(&o);
         assert_eq!(c.platform.flash.geometry.channels, 16);
-        assert_eq!(
-            c.platform.flash.timing.read,
-            SimDuration::from_micros(10)
-        );
+        assert_eq!(c.platform.flash.timing.read, SimDuration::from_micros(10));
         assert_eq!(c.platform.core_model.name(), "A53 @1.6GHz");
         assert_eq!(c.platform.dram.capacity, ByteSize::from_gib(2));
     }

@@ -89,14 +89,15 @@ pub fn run_colocated(kinds: &[WorkloadKind], wl_config: &WorkloadConfig) -> Vec<
     for tenant in &mut tenants {
         let workload = tenant.kind.build(wl_config);
         let pages = workload.dataset_pages();
-        let lpns: Vec<Lpn> = (0..pages)
-            .map(|i| Lpn::new(tenant.base_lpn + i))
-            .collect();
+        let lpns: Vec<Lpn> = (0..pages).map(|i| Lpn::new(tenant.base_lpn + i)).collect();
         let (tee, after) = ice
             .offload_code(256 << 10, &lpns, run_start)
             .expect("id space fits tenants");
-        let rng = SimRng::new(wl_config.seed)
-            .derive(&format!("tenant/{}/{}", tenant.base_lpn, tenant.kind.label()));
+        let rng = SimRng::new(wl_config.seed).derive(&format!(
+            "tenant/{}/{}",
+            tenant.base_lpn,
+            tenant.kind.label()
+        ));
         tenant.session = Some(SsdSession::new(
             &ice,
             tee,
@@ -178,10 +179,7 @@ mod tests {
 
     #[test]
     fn four_tenants_interfere_more_than_two() {
-        let two = run_colocated(
-            &[WorkloadKind::TpcC, WorkloadKind::TpchQ1],
-            &cfg(),
-        );
+        let two = run_colocated(&[WorkloadKind::TpcC, WorkloadKind::TpchQ1], &cfg());
         let four = run_colocated(
             &[
                 WorkloadKind::TpcC,
@@ -192,7 +190,10 @@ mod tests {
             &cfg(),
         );
         let q1_two = two.iter().find(|t| t.kind == WorkloadKind::TpchQ1).unwrap();
-        let q1_four = four.iter().find(|t| t.kind == WorkloadKind::TpchQ1).unwrap();
+        let q1_four = four
+            .iter()
+            .find(|t| t.kind == WorkloadKind::TpchQ1)
+            .unwrap();
         assert!(q1_four.total >= q1_two.total);
     }
 

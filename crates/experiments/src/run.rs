@@ -86,10 +86,14 @@ pub fn run(
     let mut batches = Vec::new();
     let output = workload.run(&mut |b| batches.push(b));
     if mode.is_host() {
-        run_host(mode, kind, wl_config, overrides, &*workload, &batches, output)
+        run_host(
+            mode, kind, wl_config, overrides, &*workload, &batches, output,
+        )
     } else {
-        run_ssd(mode, kind, wl_config, overrides, &*workload, &batches, output)
-            .expect("ssd run must not fail on trusted configuration")
+        run_ssd(
+            mode, kind, wl_config, overrides, &*workload, &batches, output,
+        )
+        .expect("ssd run must not fail on trusted configuration")
     }
 }
 
@@ -220,18 +224,16 @@ impl SsdSession {
         } else {
             PageClass::ReadOnly
         };
+        // The whole step's page set is submitted as ONE batch, so the
+        // FTL's channel scheduler can stripe it across every bus —
+        // this is the channel parallelism Figures 12/13 measure.
+        let mut lpns: Vec<Lpn> = Vec::new();
         for run in &batch.flash_reads {
             for lpn in run.iter() {
                 if batch.random_access && self.rng.gen_bool(page_hit) {
                     continue; // already resident in SSD DRAM
                 }
-                let done = ice.read_flash_page_as(
-                    self.tee,
-                    Lpn::new(self.base_lpn + lpn.raw()),
-                    fill_class,
-                    issue,
-                )?;
-                load_done = load_done.max(done);
+                lpns.push(Lpn::new(self.base_lpn + lpn.raw()));
             }
         }
         // Staged-table lookups that miss the modeled DRAM capacity are
@@ -239,6 +241,7 @@ impl SsdSession {
         // row misses per 4 KiB page) and prefetched with the batch's
         // loads — partitioned probing makes the page set known ahead.
         let staged_hit = cap.staged_hit(self.staged);
+        let mut staged_lpns: Vec<Lpn> = Vec::new();
         if batch.staged_reads > 0 && staged_hit < 1.0 {
             let mut misses = 0u64;
             for _ in 0..batch.staged_reads {
@@ -248,9 +251,18 @@ impl SsdSession {
             }
             for _ in 0..misses.div_ceil(128) {
                 let lpn = self.base_lpn + self.rng.gen_below(self.dataset_pages);
-                let done = ice.read_flash_page(self.tee, Lpn::new(lpn), issue)?;
-                load_done = load_done.max(done);
+                staged_lpns.push(Lpn::new(lpn));
             }
+        }
+        if !lpns.is_empty() {
+            let done = ice.submit_batch_as(self.tee, &lpns, fill_class, issue)?;
+            load_done = load_done.max(done.finished);
+        }
+        if !staged_lpns.is_empty() {
+            // Staged re-fetches stream in read-only (they back lookups,
+            // not in-place updates).
+            let done = ice.submit_batch(self.tee, &staged_lpns, issue)?;
+            load_done = load_done.max(done.finished);
         }
         self.inflight_loads.rotate_left(1);
         self.inflight_loads[3] = load_done;
@@ -716,7 +728,12 @@ mod tests {
             ..WorkloadConfig::test()
         };
         let host = run(Mode::Host, WorkloadKind::TpchQ1, &cfg, &Overrides::none());
-        let ice = run(Mode::IceClave, WorkloadKind::TpchQ1, &cfg, &Overrides::none());
+        let ice = run(
+            Mode::IceClave,
+            WorkloadKind::TpchQ1,
+            &cfg,
+            &Overrides::none(),
+        );
         assert_eq!(host.output, ice.output, "answers must agree");
         let speedup = ice.speedup_over(&host);
         assert!(
@@ -729,7 +746,12 @@ mod tests {
     fn iceclave_overhead_over_isc_is_small() {
         let cfg = test_config();
         let isc = run(Mode::Isc, WorkloadKind::Aggregate, &cfg, &Overrides::none());
-        let ice = run(Mode::IceClave, WorkloadKind::Aggregate, &cfg, &Overrides::none());
+        let ice = run(
+            Mode::IceClave,
+            WorkloadKind::Aggregate,
+            &cfg,
+            &Overrides::none(),
+        );
         let overhead = ice.total / isc.total - 1.0;
         assert!(
             (0.0..0.35).contains(&overhead),
@@ -741,7 +763,12 @@ mod tests {
     fn sgx_is_slower_than_plain_host() {
         let cfg = test_config();
         let host = run(Mode::Host, WorkloadKind::Filter, &cfg, &Overrides::none());
-        let sgx = run(Mode::HostSgx, WorkloadKind::Filter, &cfg, &Overrides::none());
+        let sgx = run(
+            Mode::HostSgx,
+            WorkloadKind::Filter,
+            &cfg,
+            &Overrides::none(),
+        );
         assert!(sgx.total > host.total);
         assert_eq!(host.output, sgx.output);
     }
@@ -756,7 +783,12 @@ mod tests {
             functional_bytes: iceclave_types::ByteSize::from_mib(16),
             ..WorkloadConfig::test()
         };
-        let hybrid = run(Mode::IceClave, WorkloadKind::TpchQ1, &cfg, &Overrides::none());
+        let hybrid = run(
+            Mode::IceClave,
+            WorkloadKind::TpchQ1,
+            &cfg,
+            &Overrides::none(),
+        );
         let sc64 = run(
             Mode::IceClaveSc64,
             WorkloadKind::TpchQ1,
@@ -775,7 +807,12 @@ mod tests {
     #[test]
     fn mapping_in_secure_world_is_slower() {
         let cfg = test_config();
-        let ice = run(Mode::IceClave, WorkloadKind::Arithmetic, &cfg, &Overrides::none());
+        let ice = run(
+            Mode::IceClave,
+            WorkloadKind::Arithmetic,
+            &cfg,
+            &Overrides::none(),
+        );
         let ablation = run(
             Mode::IceClaveMapSecure,
             WorkloadKind::Arithmetic,

@@ -31,10 +31,7 @@ impl fmt::Display for FlashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlashError::ReadUnwritten(ppn) => write!(f, "read of unwritten page {ppn}"),
-            FlashError::ProgramOutOfOrder {
-                ppn,
-                expected_page,
-            } => write!(
+            FlashError::ProgramOutOfOrder { ppn, expected_page } => write!(
                 f,
                 "out-of-order program of {ppn}; block expects page {expected_page} next"
             ),
@@ -136,10 +133,10 @@ impl FlashArray {
         if addr.page >= self.blocks[block_idx].frontier {
             return Err(FlashError::ReadUnwritten(ppn));
         }
-        let die_idx =
-            self.config
-                .geometry
-                .die_index(addr.channel, addr.chip, addr.die) as usize;
+        let die_idx = self
+            .config
+            .geometry
+            .die_index(addr.channel, addr.chip, addr.die) as usize;
         let cell = self.dies[die_idx].acquire(arrival, self.config.timing.read);
         let xfer = self.channels[addr.channel as usize]
             .acquire(cell.end, self.config.page_transfer_time());
@@ -152,6 +149,42 @@ impl FlashArray {
             start: cell.start,
             end: xfer.end,
         })
+    }
+
+    /// Reads a batch of pages, each admitted at its own arrival time.
+    ///
+    /// The caller (the FTL's channel scheduler) fixes the issue order;
+    /// per-die cell reads and per-channel bus transfers then overlap or
+    /// queue on the same [`Resource`] timelines as single reads, so a
+    /// batch striped across channels completes in roughly
+    /// `cell_read + pages_per_channel * transfer` instead of the serial
+    /// sum — the channel-parallelism effect of Figures 12–13.
+    ///
+    /// The batch is validated before any timeline is touched: one bad
+    /// address leaves the device state unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::ReadUnwritten`] for
+    /// the first invalid request.
+    pub fn read_pages(
+        &mut self,
+        requests: &[(Ppn, SimTime)],
+    ) -> Result<Vec<ServiceSpan>, FlashError> {
+        for &(ppn, _) in requests {
+            let addr = self.checked_addr(ppn)?;
+            let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
+            if addr.page >= self.blocks[block_idx].frontier {
+                return Err(FlashError::ReadUnwritten(ppn));
+            }
+        }
+        Ok(requests
+            .iter()
+            .map(|&(ppn, arrival)| {
+                self.read_page(ppn, arrival)
+                    .expect("batch was validated up front")
+            })
+            .collect())
     }
 
     /// Programs a page: channel bus transfers the data to the die
@@ -174,12 +207,12 @@ impl FlashArray {
                 expected_page: frontier,
             });
         }
-        let die_idx =
-            self.config
-                .geometry
-                .die_index(addr.channel, addr.chip, addr.die) as usize;
-        let xfer = self.channels[addr.channel as usize]
-            .acquire(arrival, self.config.page_transfer_time());
+        let die_idx = self
+            .config
+            .geometry
+            .die_index(addr.channel, addr.chip, addr.die) as usize;
+        let xfer =
+            self.channels[addr.channel as usize].acquire(arrival, self.config.page_transfer_time());
         let prog = self.dies[die_idx].acquire(xfer.end, self.config.timing.program);
         self.blocks[block_idx].frontier = frontier + 1;
         self.stats.programs += 1;

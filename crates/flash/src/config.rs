@@ -1,13 +1,12 @@
 //! Flash timing parameters and device configuration.
 
 use iceclave_types::{ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 use crate::FlashGeometry;
 
 /// NAND operation timing and channel bandwidth (§2.1 / Table 3 and the
 /// flash-latency sweep of Figure 14).
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct FlashTiming {
     /// Page read (cell array to die register), `tRD` in Table 3 (50 us).
     pub read: SimDuration,
@@ -48,7 +47,7 @@ impl FlashTiming {
 }
 
 /// Complete flash device configuration: geometry plus timing.
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct FlashConfig {
     /// Array shape.
     pub geometry: FlashGeometry,

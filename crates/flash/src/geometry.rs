@@ -4,7 +4,6 @@
 use std::fmt;
 
 use iceclave_types::{ByteSize, Ppn};
-use serde::{Deserialize, Serialize};
 
 /// The shape of the flash array (§2.1 / Table 3).
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let g = FlashGeometry::table3();
 /// assert_eq!(g.capacity().as_gib_f64(), 1024.0); // 1 TiB
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct FlashGeometry {
     /// Number of independent channels.
     pub channels: u32,
@@ -35,7 +34,7 @@ pub struct FlashGeometry {
 }
 
 /// Fully decomposed physical flash address.
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub struct FlashAddr {
     /// Channel index.
     pub channel: u32,
@@ -52,7 +51,7 @@ pub struct FlashAddr {
 }
 
 /// Address of one erase block (a [`FlashAddr`] without the page).
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub struct BlockAddr {
     /// Channel index.
     pub channel: u32,

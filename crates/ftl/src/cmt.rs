@@ -133,8 +133,7 @@ impl CachedMappingTable {
 
     /// Whether the page covering `lpn` is resident (no stats effect).
     pub fn contains(&self, lpn: Lpn) -> bool {
-        self.resident
-            .contains_key(&Self::translation_page_of(lpn))
+        self.resident.contains_key(&Self::translation_page_of(lpn))
     }
 
     /// Lookup hits so far.

@@ -6,15 +6,16 @@ use std::error::Error;
 use std::fmt;
 
 use iceclave_flash::{BlockAddr, FlashArray, FlashConfig, FlashError};
+use iceclave_sim::ServiceSpan;
 use iceclave_trustzone::{World, WorldMonitor};
-use iceclave_types::{ByteSize, Lpn, Ppn, SimDuration, SimTime, TeeId};
-use serde::{Deserialize, Serialize};
+use iceclave_types::{BatchRequest, ByteSize, Lpn, Ppn, SimDuration, SimTime, TeeId};
 
 use crate::cmt::CachedMappingTable;
 use crate::mapping::MappingTable;
+use crate::scheduler::ChannelScheduler;
 
 /// Garbage-collection victim-selection policy.
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum GcPolicy {
     /// Pick the block with the fewest valid pages (minimum copy cost).
     Greedy,
@@ -25,7 +26,7 @@ pub enum GcPolicy {
 }
 
 /// FTL configuration knobs.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct FtlConfig {
     /// Protected-region budget for the cached mapping table (16 MiB by
     /// default, the paper's preallocated region size of §4.5).
@@ -83,6 +84,21 @@ pub struct Translation {
     pub ready_at: SimTime,
     /// Whether the cached mapping table had the entry.
     pub cmt_hit: bool,
+}
+
+/// One page of a completed batch read: where it was, whether its
+/// translation hit the CMT, and when its data reached the controller.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct BatchPageRead {
+    /// The logical page.
+    pub lpn: Lpn,
+    /// The physical page it translated to.
+    pub ppn: Ppn,
+    /// Whether the cached mapping table had the entry.
+    pub cmt_hit: bool,
+    /// The flash service span; `flash.end` is when the page data has
+    /// crossed the channel bus into the controller.
+    pub flash: ServiceSpan,
 }
 
 /// FTL-level errors.
@@ -392,9 +408,77 @@ impl Ftl {
         now: SimTime,
     ) -> Result<SimTime, FtlError> {
         let translation = self.translate(requestor, lpn, monitor, now)?;
-        let span = self.flash.read_page(translation.ppn, translation.ready_at)?;
+        let span = self
+            .flash
+            .read_page(translation.ppn, translation.ready_at)?;
         self.stats.reads += 1;
         Ok(span.end)
+    }
+
+    /// Reads a [`BatchRequest`] of logical pages as one
+    /// channel-parallel request.
+    ///
+    /// All pages are translated (and permission-checked) up front — a
+    /// batch is atomic with respect to access control: if any page is
+    /// denied or unmapped, *no* flash traffic is issued and the error
+    /// names the offending page. The translated pages are then bucketed
+    /// into per-channel queues and issued round-robin across channels
+    /// ([`ChannelScheduler`]), so the per-channel bus timelines fill
+    /// concurrently instead of serially.
+    ///
+    /// Returns one [`BatchPageRead`] per request, in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`], [`FtlError::Unmapped`], or a flash
+    /// error if a mapping is stale (an internal invariant violation).
+    pub fn read_batch(
+        &mut self,
+        requestor: Requestor,
+        batch: &BatchRequest,
+        monitor: &mut WorldMonitor,
+        now: SimTime,
+    ) -> Result<Vec<BatchPageRead>, FtlError> {
+        let lpns: Vec<Lpn> = batch.requests.iter().map(|r| r.lpn).collect();
+        // Phase 1: translate everything. CMT hits are normal-world
+        // reads of the protected region and pipeline with each other;
+        // misses serialize through the secure world exactly as in the
+        // single-page path.
+        let mut translations = Vec::with_capacity(lpns.len());
+        for &lpn in &lpns {
+            let translation = self.translate(requestor, lpn, monitor, now)?;
+            translations.push(translation);
+        }
+
+        // Phase 2: channel-aware issue. Bucket by the physical page's
+        // channel, then interleave round-robin.
+        let g = self.flash.config().geometry;
+        let mut scheduler = ChannelScheduler::new(g.channels as usize);
+        for (idx, translation) in translations.iter().enumerate() {
+            let channel = g.unpack(translation.ppn).channel as usize;
+            scheduler.enqueue(channel, idx);
+        }
+        let order = scheduler.issue_order();
+        let issue: Vec<(Ppn, SimTime)> = order
+            .iter()
+            .map(|&idx| (translations[idx].ppn, translations[idx].ready_at))
+            .collect();
+        let spans = self.flash.read_pages(&issue)?;
+        self.stats.reads += lpns.len() as u64;
+
+        let mut results: Vec<Option<BatchPageRead>> = vec![None; lpns.len()];
+        for (pos, &idx) in order.iter().enumerate() {
+            results[idx] = Some(BatchPageRead {
+                lpn: lpns[idx],
+                ppn: translations[idx].ppn,
+                cmt_hit: translations[idx].cmt_hit,
+                flash: spans[pos],
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every request was scheduled exactly once"))
+            .collect())
     }
 
     /// Writes logical page `lpn` out-of-place: allocates a fresh page,
@@ -468,10 +552,7 @@ impl Ftl {
 
     /// Total valid data pages (consistency checks and tests).
     pub fn valid_pages(&self) -> u64 {
-        self.blocks
-            .values()
-            .map(|b| u64::from(b.valid_count))
-            .sum()
+        self.blocks.values().map(|b| u64::from(b.valid_count)).sum()
     }
 
     /// Erase-count spread across blocks that have been erased at least
@@ -565,7 +646,9 @@ impl Ftl {
             if let Some(prev) = self.planes[plane_idx].open_block.take() {
                 self.planes[plane_idx].full_blocks.push(prev);
             }
-            let next = self.take_free_block(plane_idx).ok_or(FtlError::CapacityExhausted)?;
+            let next = self
+                .take_free_block(plane_idx)
+                .ok_or(FtlError::CapacityExhausted)?;
             self.planes[plane_idx].open_block = Some(next);
         }
         let block = self.planes[plane_idx]
@@ -629,9 +712,7 @@ impl Ftl {
                         // score lowest.
                         let u = f64::from(valid) / pages_per_block;
                         let age_ns = now
-                            .saturating_since(
-                                info.map_or(SimTime::ZERO, |i| i.last_programmed),
-                            )
+                            .saturating_since(info.map_or(SimTime::ZERO, |i| i.last_programmed))
                             .as_nanos_f64()
                             .max(1.0);
                         (u + 1e-6) / ((1.0 - u).max(1e-6) * age_ns)
@@ -643,9 +724,7 @@ impl Ftl {
                 .iter()
                 .enumerate()
                 .min_by(|(_, &a), (_, &b)| {
-                    score(a)
-                        .partial_cmp(&score(b))
-                        .expect("scores are finite")
+                    score(a).partial_cmp(&score(b)).expect("scores are finite")
                 })
                 .map(|(i, _)| i);
             match pos {
@@ -750,14 +829,20 @@ impl Ftl {
             .expect("non-empty");
         let hot = plane.free_blocks[hottest_free_pos];
         let cold = plane.full_blocks[coldest_full_pos];
-        let hot_wear = self.flash.erase_count(self.plane_block_addr(plane_idx, hot));
-        let cold_wear = self.flash.erase_count(self.plane_block_addr(plane_idx, cold));
+        let hot_wear = self
+            .flash
+            .erase_count(self.plane_block_addr(plane_idx, hot));
+        let cold_wear = self
+            .flash
+            .erase_count(self.plane_block_addr(plane_idx, cold));
         if hot_wear.saturating_sub(cold_wear) < self.config.wear_delta_threshold {
             return Ok(now);
         }
 
         // Move cold data into the hot block.
-        self.planes[plane_idx].free_blocks.swap_remove(hottest_free_pos);
+        self.planes[plane_idx]
+            .free_blocks
+            .swap_remove(hottest_free_pos);
         let pos = self.planes[plane_idx]
             .full_blocks
             .iter()
@@ -1010,7 +1095,9 @@ mod tests {
         let mut m = WorldMonitor::with_table5_cost();
         let mut t = SimTime::ZERO;
         // A TEE-owned page with content.
-        t = ftl.write(Requestor::Host, Lpn::new(999), &mut m, t).unwrap();
+        t = ftl
+            .write(Requestor::Host, Lpn::new(999), &mut m, t)
+            .unwrap();
         let ppn = ftl
             .translate(Requestor::Host, Lpn::new(999), &mut m, t)
             .unwrap()
@@ -1023,9 +1110,13 @@ mod tests {
         // fully-invalid oldest block and never exercise relocation.)
         let mut lcg: u64 = 0xDEADBEEF;
         for _ in 0..3000u64 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = (lcg >> 33) % 300;
-            t = ftl.write(Requestor::Host, Lpn::new(lpn), &mut m, t).unwrap();
+            t = ftl
+                .write(Requestor::Host, Lpn::new(lpn), &mut m, t)
+                .unwrap();
         }
         assert!(ftl.stats().gc_pages_moved > 0);
         let tr = ftl
@@ -1115,12 +1206,96 @@ mod tests {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let lpn = (lcg >> 33) % 200;
-                t = ftl.write(Requestor::Host, Lpn::new(lpn), &mut m, t).unwrap();
+                t = ftl
+                    .write(Requestor::Host, Lpn::new(lpn), &mut m, t)
+                    .unwrap();
             }
             assert!(ftl.stats().gc_runs > 0, "{policy:?}");
             assert_eq!(ftl.valid_pages(), 200, "{policy:?} lost pages");
             assert_eq!(ftl.config().gc_policy, policy);
         }
+    }
+
+    #[test]
+    fn batch_read_matches_sequential_pages_and_stats() {
+        let (mut ftl, mut m) = setup();
+        let mut t = SimTime::ZERO;
+        for i in 0..8u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        let lpns: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+        let reads = ftl
+            .read_batch(Requestor::Host, &BatchRequest::from_lpns(&lpns), &mut m, t)
+            .unwrap();
+        assert_eq!(reads.len(), 8);
+        for (i, r) in reads.iter().enumerate() {
+            assert_eq!(r.lpn, Lpn::new(i as u64));
+            assert!(r.flash.end > t);
+        }
+        assert_eq!(ftl.stats().reads, 8);
+    }
+
+    #[test]
+    fn batch_read_is_atomic_on_access_denial() {
+        let (mut ftl, mut m) = setup();
+        let mut t = SimTime::ZERO;
+        for i in 0..4u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        ftl.set_id_bits(&[Lpn::new(0), Lpn::new(1)], tee(1))
+            .unwrap();
+        let flash_reads_before = ftl.flash().stats().reads;
+        // Page 2 is not owned by TEE 1: the whole batch is refused
+        // before any flash traffic.
+        let err = ftl
+            .read_batch(
+                Requestor::Tee(tee(1)),
+                &BatchRequest::from_lpns(&[Lpn::new(0), Lpn::new(2), Lpn::new(1)]),
+                &mut m,
+                t,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FtlError::AccessDenied { lpn, .. } if lpn == Lpn::new(2)));
+        assert_eq!(ftl.flash().stats().reads, flash_reads_before);
+        assert_eq!(ftl.stats().reads, 0);
+    }
+
+    #[test]
+    fn batch_read_overlaps_channels() {
+        // A batch striped across the tiny device's channels must beat
+        // the serial sum of its pages.
+        let (mut ftl, mut m) = setup();
+        let mut t = SimTime::ZERO;
+        let pages = 8u64;
+        for i in 0..pages {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        let lpns: Vec<Lpn> = (0..pages).map(Lpn::new).collect();
+        let batch_end = ftl
+            .read_batch(Requestor::Host, &BatchRequest::from_lpns(&lpns), &mut m, t)
+            .unwrap()
+            .iter()
+            .map(|r| r.flash.end)
+            .max()
+            .unwrap();
+
+        let (mut serial, mut m2) = setup();
+        let mut t2 = SimTime::ZERO;
+        for i in 0..pages {
+            t2 = serial
+                .write(Requestor::Host, Lpn::new(i), &mut m2, t2)
+                .unwrap();
+        }
+        let mut chained = t2;
+        for &lpn in &lpns {
+            chained = serial.read(Requestor::Host, lpn, &mut m2, chained).unwrap();
+        }
+        assert!(
+            batch_end.saturating_since(t) < chained.saturating_since(t2),
+            "batch {:?} must beat serial {:?}",
+            batch_end.saturating_since(t),
+            chained.saturating_since(t2)
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@
 pub mod cmt;
 pub mod ftl;
 pub mod mapping;
+pub mod scheduler;
 
 pub use cmt::{CachedMappingTable, CmtLookup};
-pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation};
+pub use ftl::{BatchPageRead, Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation};
 pub use mapping::{MappingEntry, MappingTable};
+pub use scheduler::ChannelScheduler;

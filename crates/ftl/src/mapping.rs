@@ -59,9 +59,7 @@ impl MappingEntry {
 
     /// Serializes to the 8-byte on-flash/in-DRAM format.
     pub fn pack(&self) -> u64 {
-        (self.ppn.raw() & PPN_MASK)
-            | (u64::from(self.owner.raw()) << ID_SHIFT)
-            | (1 << VALID_BIT)
+        (self.ppn.raw() & PPN_MASK) | (u64::from(self.owner.raw()) << ID_SHIFT) | (1 << VALID_BIT)
     }
 
     /// Deserializes an 8-byte entry; `None` if the valid bit is clear.

@@ -19,7 +19,8 @@
 //!
 //! let mut isc = IscRuntime::new(IscConfig::tiny());
 //! let t = isc.platform.populate(Lpn::new(0), 8, SimTime::ZERO)?;
-//! let task = isc.offload(vec![0..4]);
+//! let grant = 0..4;
+//! let task = isc.offload(vec![grant]);
 //! // Within the granted range: allowed.
 //! assert!(isc.read_page(task, Lpn::new(2), t).is_ok());
 //! // Outside it: the software check stops an honest program...
@@ -298,7 +299,8 @@ mod tests {
             .platform
             .populate(Lpn::new(0), 4, SimTime::ZERO)
             .unwrap();
-        let task = isc.offload(vec![0..4]);
+        let grant = 0..4;
+        let task = isc.offload(vec![grant]);
         assert!(isc.read_page(task, Lpn::new(0), t).is_ok());
     }
 
@@ -319,7 +321,8 @@ mod tests {
             .platform
             .populate(Lpn::new(0), 8, SimTime::ZERO)
             .unwrap();
-        let task = isc.offload(vec![0..2]);
+        let grant = 0..2;
+        let task = isc.offload(vec![grant]);
         assert!(matches!(
             isc.read_page(task, Lpn::new(5), t),
             Err(IscError::Denied { .. })
@@ -334,7 +337,8 @@ mod tests {
             .platform
             .populate(Lpn::new(0), 8, SimTime::ZERO)
             .unwrap();
-        let task = isc.offload(vec![0..1]);
+        let grant = 0..1;
+        let task = isc.offload(vec![grant]);
         assert!(isc.read_page(task, Lpn::new(7), t).is_err());
         isc.corrupt_privilege_table(task, 0..8);
         assert!(isc.read_page(task, Lpn::new(7), t).is_ok());
@@ -374,9 +378,8 @@ mod tests {
         let isc = IscRuntime::new(IscConfig::table3());
         let pcie = isc.platform.pcie_transfer_time(1 << 30);
         let internal = isc.platform.config().flash.internal_bandwidth();
-        let internal_time = SimDuration::from_secs_f64(
-            (1u64 << 30) as f64 / internal.as_bytes() as f64,
-        );
+        let internal_time =
+            SimDuration::from_secs_f64((1u64 << 30) as f64 / internal.as_bytes() as f64);
         assert!(pcie > internal_time);
     }
 }

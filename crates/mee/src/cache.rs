@@ -235,7 +235,7 @@ mod tests {
         c.access(0); // read does not clean it
         c.access(4);
         let out = c.access(8); // evicts 4 (clean)... LRU order: 0 older
-        // After access(0), order is [0,4] -> access(4) -> [4,0]; evicting 0.
+                               // After access(0), order is [0,4] -> access(4) -> [4,0]; evicting 0.
         assert_eq!(out.writeback, Some(0));
     }
 

@@ -8,14 +8,12 @@
 //! page to be re-encrypted. Read-only pages never increment, so IceClave
 //! stores only major counters for them — eight pages per metadata line.
 
-use serde::{Deserialize, Serialize};
-
 /// Exclusive upper bound of a 6-bit minor counter.
 pub const MINOR_LIMIT: u8 = 64;
 
 /// Read/write classification of a DRAM page, which selects its counter
 /// layout under the hybrid scheme.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum PageClass {
     /// Input pages: encrypted once when filled, never re-encrypted.
     ReadOnly,
@@ -111,7 +109,7 @@ impl Default for SplitCounterBlock {
 }
 
 /// Major-only counter block covering eight read-only pages (Figure 7a).
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct MajorCounterBlock {
     majors: [u64; 8],
 }

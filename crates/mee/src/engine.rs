@@ -11,14 +11,13 @@ use std::collections::HashMap;
 
 use iceclave_dram::{Dram, MemOp};
 use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
-use serde::{Deserialize, Serialize};
 
 use crate::cache::MetaCache;
 use crate::counters::{PageClass, SplitCounterBlock};
 use crate::tree::TreeGeometry;
 
 /// Which counter organization protects DRAM.
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum CounterMode {
     /// No memory protection (the ISC baseline and Figure 8's
     /// "Non-Encryption").
@@ -31,7 +30,7 @@ pub enum CounterMode {
 }
 
 /// MEE configuration.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct MeeConfig {
     /// Counter organization.
     pub mode: CounterMode,
@@ -156,6 +155,17 @@ impl MeeStats {
             self.write_overhead / self.data_writes
         }
     }
+}
+
+/// One page of a batched DRAM fill (flash-to-DRAM staging).
+#[derive(Copy, Clone, Debug)]
+pub struct PageFill {
+    /// Destination DRAM page.
+    pub page: u64,
+    /// Protection class the page is filled as.
+    pub class: PageClass,
+    /// When the deciphered data is available to the fill engine.
+    pub ready: SimTime,
 }
 
 /// Metadata block kinds, encoded in the low bits of block ids so that
@@ -296,6 +306,26 @@ impl MeeEngine {
         end + self.config.aes_latency
     }
 
+    /// Fills a batch of DRAM pages, each admitted when its upstream
+    /// (deciphered flash data) is ready.
+    ///
+    /// Fills are issued in ascending ready order, so counter
+    /// initialization and MAC generation of early pages overlap with
+    /// the flash transfers of later ones — the DRAM channel timelines
+    /// provide the only serialization, exactly as the bulk-fill engine
+    /// of the paper overlaps verification with data movement. Returns
+    /// per-page completion times **in input order**.
+    pub fn fill_pages(&mut self, dram: &mut Dram, fills: &[PageFill]) -> Vec<SimTime> {
+        let mut order: Vec<usize> = (0..fills.len()).collect();
+        order.sort_by_key(|&i| (fills[i].ready, i));
+        let mut done = vec![SimTime::ZERO; fills.len()];
+        for i in order {
+            let fill = &fills[i];
+            done[i] = self.fill_page(dram, fill.page, fill.class, fill.ready);
+        }
+        done
+    }
+
     /// A protected read of one cache line. Returns the time the verified
     /// plaintext is available.
     pub fn read_line(&mut self, dram: &mut Dram, line: CacheLine, now: SimTime) -> SimTime {
@@ -418,10 +448,7 @@ impl MeeEngine {
 
     fn effective_class(&self, page: u64) -> PageClass {
         match self.config.mode {
-            CounterMode::Hybrid => *self
-                .page_class
-                .get(&page)
-                .unwrap_or(&PageClass::Writable),
+            CounterMode::Hybrid => *self.page_class.get(&page).unwrap_or(&PageClass::Writable),
             _ => PageClass::Writable,
         }
     }
@@ -667,8 +694,7 @@ mod tests {
     }
 
     #[test]
-    fn migration_changes_class_and_bills_reencryption(
-    ) {
+    fn migration_changes_class_and_bills_reencryption() {
         let (mut dram, mut mee) = setup(CounterMode::Hybrid);
         mee.set_page_class(3, PageClass::ReadOnly);
         let before = mee.stats().extra_enc_writes;

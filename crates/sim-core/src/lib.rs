@@ -37,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod pipeline;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
 pub use event::EventQueue;
+pub use pipeline::Pipeline;
 pub use resource::{Resource, ResourcePool, ServiceSpan};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningStats};

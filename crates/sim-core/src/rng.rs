@@ -1,7 +1,8 @@
 //! Deterministic random number generation for reproducible experiments.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Self-contained (no external crates): a SplitMix64-seeded
+//! xoshiro256** generator, which is more than adequate for workload
+//! synthesis and capacity sampling in a deterministic simulator.
 
 /// A seeded random number generator with hierarchical sub-stream
 /// derivation.
@@ -25,16 +26,29 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step: the standard seeding generator for xoshiro.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { seed, state }
     }
 
     /// Derives an independent sub-stream keyed by `label`. The same
@@ -54,9 +68,19 @@ impl SimRng {
         self.seed
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256** output function).
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -66,23 +90,30 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn gen_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "gen_below bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Rejection sampling over the widest multiple of `bound` to
+        // avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let r = self.gen_u64();
+            if r < zone {
+                return r % bound;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 high bits scaled into the unit interval.
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
-    }
-
-    /// A mutable reference to the underlying `rand` generator, for APIs
-    /// that take `impl Rng`.
-    pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.inner
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
     }
 }
 
@@ -131,5 +162,14 @@ mod tests {
         assert!(r.gen_bool(1.0));
         // Out-of-range p is clamped rather than panicking.
         assert!(r.gen_bool(2.0));
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 }

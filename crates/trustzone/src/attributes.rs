@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The two TrustZone execution worlds.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum World {
     /// The secure world: FTL core functions and the IceClave runtime.
     Secure,
@@ -14,7 +12,7 @@ pub enum World {
 }
 
 /// The three memory regions of Figure 4.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum Region {
     /// Secure-world-only memory.
     Secure,
@@ -26,7 +24,7 @@ pub enum Region {
 }
 
 /// Read or write, for permission checks.
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum AccessType {
     /// A load.
     Read,
@@ -54,7 +52,7 @@ pub enum AccessType {
 /// assert!(!attrs.permits(World::Normal, AccessType::Write));
 /// assert!(attrs.permits(World::Secure, AccessType::Write));
 /// ```
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub struct PageAttributes {
     /// The repurposed reserved bit: cleared for protected and secure
     /// pages.

@@ -4,7 +4,6 @@ use std::error::Error;
 use std::fmt;
 
 use iceclave_types::{ByteSize, PhysAddr};
-use serde::{Deserialize, Serialize};
 
 use crate::attributes::{AccessType, PageAttributes, Region, World};
 
@@ -61,7 +60,7 @@ impl fmt::Display for RegionError {
 
 impl Error for RegionError {}
 
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 struct RegionRegister {
     start: u64,
     end: u64, // exclusive
@@ -78,7 +77,7 @@ struct RegionRegister {
 /// # Examples
 ///
 /// See the crate-level example.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MemoryMap {
     regions: Vec<RegionRegister>,
 }
@@ -195,7 +194,9 @@ mod tests {
         let map = standard_map();
         let app_addr = PhysAddr::new(ByteSize::from_mib(256).as_bytes());
         assert_eq!(map.region_of(app_addr), Region::Normal);
-        assert!(map.check(World::Normal, app_addr, AccessType::Write).is_ok());
+        assert!(map
+            .check(World::Normal, app_addr, AccessType::Write)
+            .is_ok());
     }
 
     #[test]
@@ -207,14 +208,18 @@ mod tests {
             .unwrap_err();
         assert_eq!(fault.region, Region::Secure);
         assert_eq!(fault.world, World::Normal);
-        assert!(map.check(World::Secure, ftl_addr, AccessType::Write).is_ok());
+        assert!(map
+            .check(World::Secure, ftl_addr, AccessType::Write)
+            .is_ok());
     }
 
     #[test]
     fn protected_region_is_read_only_for_normal_world() {
         let map = standard_map();
         let table_addr = PhysAddr::new(ByteSize::from_mib(64).as_bytes() + 128);
-        assert!(map.check(World::Normal, table_addr, AccessType::Read).is_ok());
+        assert!(map
+            .check(World::Normal, table_addr, AccessType::Read)
+            .is_ok());
         let fault = map
             .check(World::Normal, table_addr, AccessType::Write)
             .unwrap_err();

@@ -8,12 +8,11 @@
 
 use iceclave_sim::Resource;
 use iceclave_types::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 use crate::attributes::World;
 
 /// Switch statistics for reports.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default)]
 pub struct SwitchStats {
     /// Number of world switches performed.
     pub switches: u64,

@@ -9,13 +9,12 @@
 //! claim is executable, not rhetorical.
 
 use iceclave_types::{ByteSize, PhysAddr};
-use serde::{Deserialize, Serialize};
 
 use crate::attributes::{AccessType, Region};
 use crate::map::MemoryMap;
 
 /// RISC-V privilege levels (the three levels of §4.7).
-#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub enum PrivilegeLevel {
     /// U-mode: offloaded in-storage programs.
     User,
@@ -27,7 +26,7 @@ pub enum PrivilegeLevel {
 
 /// One PMP entry: a NAPOT-style range with R/W/X bits per privilege
 /// class (modelled at the granularity IceClave needs).
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PmpEntry {
     /// Range start.
     pub start: u64,
@@ -71,7 +70,7 @@ pub const MAX_PMP_ENTRIES: usize = 16;
 /// assert!(!pmp.permits(PrivilegeLevel::User, PhysAddr::new(0), AccessType::Read));
 /// # Ok::<(), iceclave_trustzone::RegionError>(())
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PmpMemoryMap {
     entries: Vec<PmpEntry>,
 }

@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CACHE_LINE_SIZE, PAGE_SIZE};
 
 /// A logical page number: the address space exposed to applications.
@@ -22,29 +20,21 @@ use crate::{CACHE_LINE_SIZE, PAGE_SIZE};
 /// assert_eq!(lpn.next().raw(), 8);
 /// assert_eq!(lpn.byte_offset(), 7 * 4096);
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct Lpn(u64);
 
 /// A physical page number: a location in the flash array, produced only by
 /// the FTL's address translation.
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct Ppn(u64);
 
 /// A byte address in the SSD's internal DRAM physical address space.
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct PhysAddr(u64);
 
 /// A cache-line index in the SSD DRAM (64-byte granularity), the unit at
 /// which the memory-encryption engine operates.
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct CacheLine(u64);
 
 impl Lpn {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimDuration;
 
 /// A clock frequency in hertz.
@@ -19,9 +17,7 @@ use crate::SimDuration;
 /// // 800 MHz is 1.25 ns.
 /// assert_eq!(Hertz::from_mhz(800).cycle_time().as_ps(), 1250);
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct Hertz(u64);
 
 impl Hertz {

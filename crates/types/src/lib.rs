@@ -30,12 +30,14 @@
 
 pub mod addr;
 pub mod freq;
+pub mod request;
 pub mod size;
 pub mod tee;
 pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
 pub use freq::Hertz;
+pub use request::{BatchCompletion, BatchRequest, PageCompletion, PageRequest};
 pub use size::ByteSize;
 pub use tee::{TeeId, TeeIdError};
 pub use time::{SimDuration, SimTime};

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A number of bytes.
 ///
 /// # Examples
@@ -18,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(dram / ByteSize::from_mib(1), 4096.0);
 /// assert_eq!(format!("{dram}"), "4.00GiB");
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct ByteSize(u64);
 
 impl ByteSize {

@@ -8,8 +8,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of ID bits reserved per mapping-table entry (paper default: 4,
 /// a 6.25% overhead on 8-byte entries).
 pub const DEFAULT_ID_BITS: u32 = 4;
@@ -30,9 +28,7 @@ pub const DEFAULT_ID_BITS: u32 = 4;
 /// assert!(TeeId::new(16).is_err()); // only 4 ID bits by default
 /// # Ok::<(), iceclave_types::TeeIdError>(())
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct TeeId(u8);
 
 /// Error returned when a TEE identifier does not fit in the configured ID

@@ -9,8 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulated clock, measured in picoseconds since the
 /// start of the simulation.
 ///
@@ -22,9 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_nanos(3);
 /// assert_eq!(t.as_ps(), 3_000);
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in picoseconds.
@@ -38,9 +34,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_nanos(), 50_000);
 /// assert_eq!(d * 2, SimDuration::from_micros(100));
 /// ```
-#[derive(
-    Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {

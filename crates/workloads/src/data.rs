@@ -8,8 +8,6 @@
 //! cardinalities); EXPERIMENTS.md documents this substitution for the
 //! proprietary 32 GiB datasets.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 finalizer: a high-quality 64-bit mixer.
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
@@ -61,7 +59,7 @@ mod tag {
 pub const DATE_DOMAIN_DAYS: u32 = 2556;
 
 /// One TPC-H lineitem row (only the columns Q1/Q3/Q12/Q14/Q19 touch).
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Lineitem {
     /// Parent order key in `0..orders`.
     pub orderkey: u64,
@@ -116,7 +114,7 @@ pub fn lineitem(seed: u64, i: u64, orders: u64, parts: u64) -> Lineitem {
 }
 
 /// One TPC-H orders row.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Order {
     /// Customer market segment: 0..5 (BUILDING = 0).
     pub mktsegment: u8,
@@ -140,7 +138,7 @@ pub fn order(seed: u64, orderkey: u64) -> Order {
 }
 
 /// One TPC-H part row.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Part {
     /// Brand: 0..25 (Brand#12 = 12, etc.).
     pub brand: u8,

@@ -45,12 +45,11 @@ pub mod wordcount;
 
 use std::fmt;
 
-use iceclave_types::{ByteSize, Lpn};
 pub use iceclave_cpu::{OpClass, OpCounts};
-use serde::{Deserialize, Serialize};
+use iceclave_types::{ByteSize, Lpn};
 
 /// A run of consecutive logical pages read from flash.
-#[derive(Copy, Clone, Eq, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct LpnRun {
     /// First logical page.
     pub start: Lpn,
@@ -110,7 +109,7 @@ impl Batch {
 
 /// Final output of a workload run: enough to check determinism and
 /// correctness across execution modes.
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Debug)]
 pub struct WorkloadOutput {
     /// Result rows (or transactions committed, or distinct words).
     pub rows: u64,
@@ -119,7 +118,7 @@ pub struct WorkloadOutput {
 }
 
 /// Configuration shared by all workloads.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct WorkloadConfig {
     /// Bytes of data actually generated and computed over.
     pub functional_bytes: ByteSize,
@@ -203,7 +202,7 @@ pub trait Workload: fmt::Debug {
 }
 
 /// The eleven paper workloads (Table 4).
-#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum WorkloadKind {
     /// Mathematical operations against data records.
     Arithmetic,

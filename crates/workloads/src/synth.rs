@@ -10,8 +10,9 @@
 use iceclave_types::{ByteSize, Lpn};
 
 use crate::data::{self, row_hash};
-use crate::{Batch, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput, LpnRun,
-            PAGES_PER_BATCH};
+use crate::{
+    Batch, LpnRun, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput, PAGES_PER_BATCH,
+};
 
 /// 64-byte records, 64 per page.
 const ROW_SIZE: u64 = 64;
@@ -35,7 +36,13 @@ fn record_value(seed: u64, i: u64) -> (f64, f64, f64) {
 
 /// Shared scan driver: iterates rows page-batch by page-batch, calls
 /// `per_row`, and emits a batch with the accumulated op counts.
-fn scan<F>(config: &WorkloadConfig, ops_per_row: &[(OpClass, u64)], mut per_row: F, emit: &mut dyn FnMut(Batch), extra_writes_per_row: f64) -> u64
+fn scan<F>(
+    config: &WorkloadConfig,
+    ops_per_row: &[(OpClass, u64)],
+    mut per_row: F,
+    emit: &mut dyn FnMut(Batch),
+    extra_writes_per_row: f64,
+) -> u64
 where
     F: FnMut(u64),
 {

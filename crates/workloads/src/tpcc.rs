@@ -89,8 +89,7 @@ impl Workload for TpcC {
                     checksum += *entry as f64;
                     flash_reads.push(LpnRun::new(Lpn::new(item / rows_per_page), 1));
                 }
-                let customer_page =
-                    row_hash(seed, 303, k) % self.dataset_pages().max(1);
+                let customer_page = row_hash(seed, 303, k) % self.dataset_pages().max(1);
                 flash_reads.push(LpnRun::new(Lpn::new(customer_page), 1));
                 committed += 1;
                 ops.add(OpClass::TxnLogic, 5);

@@ -21,8 +21,9 @@ use iceclave_types::{ByteSize, Lpn};
 use std::collections::HashMap;
 
 use crate::data::{self, row_size, DATE_DOMAIN_DAYS};
-use crate::{Batch, LpnRun, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput,
-            PAGES_PER_BATCH};
+use crate::{
+    Batch, LpnRun, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput, PAGES_PER_BATCH,
+};
 
 /// Accumulates instrumentation for the current scan batch.
 #[derive(Debug, Default)]
@@ -64,10 +65,7 @@ fn scan_table(
         let writes = carry.floor() as u64;
         carry -= writes as f64;
         emit(Batch {
-            flash_reads: vec![LpnRun::new(
-                Lpn::new(base_page + page),
-                batch_pages as u32,
-            )],
+            flash_reads: vec![LpnRun::new(Lpn::new(base_page + page), batch_pages as u32)],
             random_access: false,
             input_lines: batch_pages * 64,
             staged_reads: acc.staged_reads,
@@ -118,10 +116,7 @@ impl Q1 {
     }
 
     fn rows(&self) -> u64 {
-        data::rows_for(
-            self.config.functional_bytes.as_bytes(),
-            row_size::LINEITEM,
-        )
+        data::rows_for(self.config.functional_bytes.as_bytes(), row_size::LINEITEM)
     }
 }
 
@@ -503,10 +498,8 @@ impl Workload for Q19 {
                 acc.write_credit += 1.0 / 1_048_576.0;
                 let p = data::part(seed, item.partkey);
                 let q = item.quantity;
-                let arm1 = p.brand == 12
-                    && p.container < 10
-                    && (1.0..=11.0).contains(&q)
-                    && p.size <= 5;
+                let arm1 =
+                    p.brand == 12 && p.container < 10 && (1.0..=11.0).contains(&q) && p.size <= 5;
                 let arm2 = p.brand == 23
                     && (10..20).contains(&p.container)
                     && (10.0..=20.0).contains(&q)
@@ -615,10 +608,8 @@ mod tests {
             if item.shipmode >= 4 && item.shipmode <= 5 && item.shipinstruct == 0 {
                 let p = data::part(cfg.seed, item.partkey);
                 let q = item.quantity;
-                let arm1 = p.brand == 12
-                    && p.container < 10
-                    && (1.0..=11.0).contains(&q)
-                    && p.size <= 5;
+                let arm1 =
+                    p.brand == 12 && p.container < 10 && (1.0..=11.0).contains(&q) && p.size <= 5;
                 let arm2 = p.brand == 23
                     && (10..20).contains(&p.container)
                     && (10.0..=20.0).contains(&q)

@@ -14,8 +14,9 @@ use std::collections::HashMap;
 use iceclave_types::{ByteSize, Lpn};
 
 use crate::data::{self, row_size};
-use crate::{Batch, LpnRun, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput,
-            PAGES_PER_BATCH};
+use crate::{
+    Batch, LpnRun, OpClass, OpCounts, Workload, WorkloadConfig, WorkloadOutput, PAGES_PER_BATCH,
+};
 
 /// Average token footprint in the corpus (bytes).
 const TOKEN_BYTES: u64 = row_size::TOKEN;

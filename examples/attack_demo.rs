@@ -16,7 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Baseline ISC: the privilege table is plain data in SSD DRAM.
         let mut isc = IscRuntime::new(IscConfig::table3());
         let t = isc.platform.populate(Lpn::new(0), 16, SimTime::ZERO)?;
-        let task = isc.offload(vec![0..4]);
+        let grant = 0..4;
+        let task = isc.offload(vec![grant]);
         assert!(isc.read_page(task, Lpn::new(12), t).is_err());
         isc.corrupt_privilege_table(task, 0..16); // buffer overflow
         assert!(isc.read_page(task, Lpn::new(12), t).is_ok());
@@ -66,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plain = b"patient records".to_vec();
         let (ciphertext, _iv) = ice.cipher_mut().encrypt_page(0, &plain);
         assert_ne!(ciphertext, plain);
-        println!("  IceClave: snooper sees ciphertext {:02x?}...", &ciphertext[..8]);
+        println!(
+            "  IceClave: snooper sees ciphertext {:02x?}...",
+            &ciphertext[..8]
+        );
     }
 
     println!("\n=== Attack 3: physical attacks on in-SSD DRAM ===");
@@ -78,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Cold-boot / probe: stored bytes are ciphertext.
         let snooped = mem.snoop_line(line).unwrap();
         assert_ne!(snooped, [0x42; 64]);
-        println!("  DRAM content at rest is ciphertext: {:02x?}...", &snooped[..8]);
+        println!(
+            "  DRAM content at rest is ciphertext: {:02x?}...",
+            &snooped[..8]
+        );
 
         // Tampering: flip one bit.
         mem.tamper_line(line, |c| c[0] ^= 1);

@@ -18,11 +18,7 @@ fn main() {
         functional_bytes: ByteSize::from_mib(4),
         ..WorkloadConfig::bench()
     };
-    let mix = [
-        WorkloadKind::TpcC,
-        WorkloadKind::TpchQ1,
-        WorkloadKind::TpcB,
-    ];
+    let mix = [WorkloadKind::TpcC, WorkloadKind::TpchQ1, WorkloadKind::TpcB];
     println!("colocating {:?} on one SSD...\n", mix.map(|k| k.label()));
 
     let colocated = run_colocated(&mix, &config);

@@ -53,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mee.verifications,
         ice.mee().cache_hit_rate() * 100.0
     );
-    println!("world switches: {}", ice.platform().monitor.stats().switches);
+    println!(
+        "world switches: {}",
+        ice.platform().monitor.stats().switches
+    );
     Ok(())
 }

@@ -17,7 +17,10 @@ fn main() {
         ..WorkloadConfig::bench()
     };
     let kind = WorkloadKind::TpchQ1;
-    println!("running {kind} at {} functional scale...\n", config.functional_bytes);
+    println!(
+        "running {kind} at {} functional scale...\n",
+        config.functional_bytes
+    );
 
     let mut results = Vec::new();
     for mode in Mode::FIGURE11 {

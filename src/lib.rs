@@ -12,6 +12,43 @@
 //!   [`iceclave_mee`], [`iceclave_cipher`], [`iceclave_trustzone`],
 //!   [`iceclave_cpu`], [`iceclave_isc`], [`iceclave_sim`],
 //!   [`iceclave_types`].
+//!
+//! # Architecture: the request pipeline
+//!
+//! The protected data path is *batched and channel-parallel*. An
+//! in-storage program submits its whole page set as one request
+//! (`IceClave::submit_batch`); `read_flash_page` survives as the
+//! one-element wrapper. A batch flows through four stages, each
+//! overlapping with the others on the simulator's resource timelines:
+//!
+//! ```text
+//!  submit_batch(tee, lpns, now)
+//!      │ 1. translate + ID-bit check every page up front
+//!      │    (a denied page aborts the batch before any flash
+//!      │     traffic and throws the TEE out, §4.5)
+//!      ▼
+//!  Ftl::read_batch ── ChannelScheduler: per-channel FIFO queues,
+//!      │               issued round-robin across channels
+//!      ▼
+//!  FlashArray::read_pages ── per-die cell reads and per-channel bus
+//!      │                     transfers overlap/queue on Resource
+//!      │                     timelines (Figures 12–13 scaling)
+//!      ▼
+//!  decrypt lanes (iceclave_sim::Pipeline, one per channel) ── each
+//!      │        channel's cipher engine drains its pages in
+//!      │        flash-completion order, hiding decryption under the
+//!      │        other channels' transfers
+//!      ▼
+//!  MeeEngine::fill_pages ── counter-init + MAC generation of early
+//!               pages overlap with later transfers; per-page
+//!               completion times return in request order
+//! ```
+//!
+//! The vocabulary types ([`iceclave_types::BatchRequest`],
+//! [`iceclave_types::BatchCompletion`]) carry per-page ready times and
+//! — for pages with functional content — the deciphered plaintext, so
+//! tests can assert byte-identical batch/sequential equivalence
+//! (`tests/batch_equivalence.rs`).
 
 pub use iceclave_cipher;
 pub use iceclave_core;

@@ -154,7 +154,12 @@ fn cmt_miss_rate_is_paper_scale() {
         functional_bytes: ByteSize::from_mib(2),
         ..WorkloadConfig::test()
     };
-    let r = run(Mode::IceClave, WorkloadKind::TpchQ1, &cfg, &Overrides::none());
+    let r = run(
+        Mode::IceClave,
+        WorkloadKind::TpchQ1,
+        &cfg,
+        &Overrides::none(),
+    );
     assert!(
         r.cmt_miss_rate < 0.02,
         "streaming translation miss rate {} too high",
@@ -165,7 +170,12 @@ fn cmt_miss_rate_is_paper_scale() {
 #[test]
 fn world_switch_accounting_is_consistent() {
     let cfg = small();
-    let ice = run(Mode::IceClave, WorkloadKind::Aggregate, &cfg, &Overrides::none());
+    let ice = run(
+        Mode::IceClave,
+        WorkloadKind::Aggregate,
+        &cfg,
+        &Overrides::none(),
+    );
     let ablation = run(
         Mode::IceClaveMapSecure,
         WorkloadKind::Aggregate,

@@ -9,9 +9,7 @@ use iceclave_repro::iceclave_ftl::{Ftl, FtlConfig, MappingEntry, Requestor};
 use iceclave_repro::iceclave_mee::{MetaCache, SecureMemory};
 use iceclave_repro::iceclave_sim::Resource;
 use iceclave_repro::iceclave_trustzone::WorldMonitor;
-use iceclave_repro::iceclave_types::{
-    ByteSize, CacheLine, Lpn, Ppn, SimDuration, SimTime, TeeId,
-};
+use iceclave_repro::iceclave_types::{ByteSize, CacheLine, Lpn, Ppn, SimDuration, SimTime, TeeId};
 
 use std::collections::HashMap;
 

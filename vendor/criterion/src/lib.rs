@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! provides the subset of the criterion API the workspace's benches
+//! use: `Criterion`, benchmark groups, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock mean
+//! over a bounded number of iterations, printed to stdout — enough to
+//! track a performance trajectory across PRs without the statistical
+//! machinery.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Declared data volume per iteration, used to report throughput.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement_time {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+/// Builder/runner for a set of benchmarks (stand-in for
+/// `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; sampling is time-bounded here.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, self.measurement_time, self.warm_up_time, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+            criterion: self,
+        }
+    }
+}
+
+/// A named group sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; the parent `Criterion` is untouched so
+    /// later groups keep the configured default.
+    measurement_time: Option<Duration>,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration data volume for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides this group's wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        measurement_time,
+        warm_up_time,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<48} (no iterations recorded)");
+        return;
+    }
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => {
+            let mib_s = (b as f64 / (mean_ns / 1e9)) / (1024.0 * 1024.0);
+            format!("  {mib_s:10.1} MiB/s")
+        }
+        Throughput::Elements(e) => {
+            let elem_s = e as f64 / (mean_ns / 1e9);
+            format!("  {elem_s:10.0} elem/s")
+        }
+    });
+    println!(
+        "{id:<48} {mean_ns:12.1} ns/iter ({} iters){}",
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

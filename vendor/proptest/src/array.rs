@@ -1,0 +1,34 @@
+//! Fixed-size array strategies (`prop::array::uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` with independent elements.
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// An array of independent samples of `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fn! {
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform10 => 10,
+    uniform16 => 16,
+    uniform32 => 32,
+}

@@ -1,0 +1,117 @@
+//! The `Strategy` trait and the primitive (integer range, tuple)
+//! strategies of the offline proptest stand-in.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A source of sampled values. The real proptest builds shrinkable
+/// value trees; this stand-in draws plain deterministic samples.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Integers that can be drawn uniformly from an inclusive range.
+pub trait SampleUniform: Copy + PartialEq {
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The type's maximum value (for `RangeFrom` strategies).
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let lo_w = lo as u128;
+                let hi_w = hi as u128;
+                if lo_w == 0 && hi_w == <$t>::MAX as u128 {
+                    return rng.next_u128() as $t;
+                }
+                let width = hi_w - lo_w + 1;
+                (lo_w + rng.next_u128() % width) as $t
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for u128 {
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty sample range");
+        if lo == 0 && hi == u128::MAX {
+            return rng.next_u128();
+        }
+        let width = hi - lo + 1;
+        lo + rng.next_u128() % width
+    }
+    fn max_value() -> Self {
+        u128::MAX
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        // Half-open: the caller guarantees a non-empty range, so `end`
+        // has a predecessor reachable via sampling [start, end) by
+        // drawing inclusive over a width-1 narrower bound.
+        sample_half_open(rng, self.start, self.end)
+    }
+}
+
+/// Samples `[lo, hi)` by drawing from the inclusive range `[lo, hi-1]`
+/// computed in wide arithmetic.
+fn sample_half_open<T: SampleUniform>(rng: &mut TestRng, lo: T, hi: T) -> T {
+    assert!(lo != hi, "empty half-open sample range");
+    // `hi - 1` computed via inclusive sampling over a shifted draw:
+    // draw d in [lo, hi] until d != hi. The retry probability is
+    // negligible except for tiny ranges, where it is still correct.
+    loop {
+        let d = T::sample_inclusive(rng, lo, hi);
+        if d != hi {
+            return d;
+        }
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,60 @@
+//! Deterministic case generation for the offline proptest stand-in.
+
+/// Per-`proptest!` block configuration. Only `cases` is honored.
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 generator seeded from the property's name, so every test
+/// explores a stable, independent stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from the test name (FNV-1a).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() needs a positive bound");
+        (self.next_u128() % bound as u128) as usize
+    }
+}
