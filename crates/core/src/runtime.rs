@@ -9,12 +9,13 @@ use iceclave_cipher::{CipherEngine, PageIv};
 use iceclave_cpu::OpCounts;
 use iceclave_ftl::{FtlError, Requestor};
 use iceclave_isc::SsdPlatform;
-use iceclave_mee::{MeeEngine, PageClass, PageFill};
+use iceclave_mee::{MeeEngine, PageClass, PageFill, PageSeal};
 use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
-    BatchCompletion, BatchRequest, ByteSize, CacheLine, Lpn, PageCompletion, Ppn, SimTime, TeeId,
-    LINES_PER_PAGE, PAGE_SIZE,
+    BatchCompletion, BatchRequest, ByteSize, CacheLine, Lpn, PageCompletion, PageWrite, Ppn,
+    SimTime, TeeId, WriteBatchCompletion, WriteBatchRequest, WritePageCompletion, LINES_PER_PAGE,
+    PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
@@ -130,6 +131,8 @@ pub struct RuntimeStats {
     pub id_reuses: u64,
     /// Flash pages streamed through the cipher engine into TEEs.
     pub pages_loaded: u64,
+    /// Pages drained out of TEEs and programmed to flash.
+    pub pages_stored: u64,
 }
 
 #[derive(Debug)]
@@ -143,6 +146,9 @@ struct TeeState {
     /// Ring cursor for input fills (first half of the region is the
     /// read-only input buffer, second half the writable working set).
     next_fill: u64,
+    /// Ring cursor for outbound seals (pages drained from the working
+    /// half toward flash by the batched write path).
+    next_seal: u64,
     /// The user's data-decryption key, provisioned over the secure
     /// channel with the offloaded program (§4.6). Lives in the secure
     /// metadata region; cleared at teardown.
@@ -164,11 +170,12 @@ pub struct IceClave {
     platform: SsdPlatform,
     mee: MeeEngine,
     cipher: CipherEngine,
-    /// Per-channel stream-decipher engines (§5 puts the cipher units
+    /// Per-channel stream-cipher engines (§5 puts the cipher units
     /// between the flash controllers and the internal bus, so each
-    /// channel deciphers its own stream): one page per engine at a
-    /// time, overlapping with the other channels' transfers.
-    decrypt_lanes: Vec<Pipeline>,
+    /// channel ciphers its own stream — decryption on reads,
+    /// encryption on writes): one page per engine at a time,
+    /// overlapping with the other channels' transfers.
+    cipher_lanes: Vec<Pipeline>,
     /// Per-LPN IVs of functionally encrypted page content (the model's
     /// stand-in for the IV metadata the controller keeps in the
     /// out-of-band area). Keyed by LPN so GC relocation cannot orphan
@@ -224,8 +231,8 @@ impl IceClave {
             platform,
             mee: MeeEngine::new(config.mee),
             cipher: CipherEngine::new([0x1C; 10], config.cipher_clock, 0xACE1_CAFE),
-            decrypt_lanes: (0..config.platform.flash.geometry.channels)
-                .map(|i| Pipeline::new(format!("decrypt-engine{i}")))
+            cipher_lanes: (0..config.platform.flash.geometry.channels)
+                .map(|i| Pipeline::new(format!("cipher-engine{i}")))
                 .collect(),
             page_ivs: HashMap::new(),
             memory_map,
@@ -345,6 +352,7 @@ impl IceClave {
                 region_page,
                 region_pages,
                 next_fill: 0,
+                next_seal: 0,
                 user_key: None,
             },
         );
@@ -501,24 +509,12 @@ impl IceClave {
         // with the other channels' transfers and decrypts.
         let flash_ready: Vec<SimTime> = reads.iter().map(|r| r.flash.end).collect();
         let deciphered: Vec<SimTime> = if self.config.cipher_enabled {
-            let service = self.cipher.page_latency(PAGE_SIZE);
             let geometry = self.platform.ftl.flash().config().geometry;
-            let mut by_channel: Vec<Vec<usize>> = vec![Vec::new(); self.decrypt_lanes.len()];
-            for (idx, read) in reads.iter().enumerate() {
-                by_channel[geometry.unpack(read.ppn).channel as usize].push(idx);
-            }
-            let mut deciphered = flash_ready.clone();
-            for (channel, idxs) in by_channel.iter().enumerate() {
-                if idxs.is_empty() {
-                    continue;
-                }
-                let ready: Vec<SimTime> = idxs.iter().map(|&i| flash_ready[i]).collect();
-                let spans = self.decrypt_lanes[channel].drain(&ready, service);
-                for (pos, &i) in idxs.iter().enumerate() {
-                    deciphered[i] = spans[pos].end;
-                }
-            }
-            deciphered
+            let lane_of: Vec<usize> = reads
+                .iter()
+                .map(|read| geometry.unpack(read.ppn).channel as usize)
+                .collect();
+            self.drain_cipher_lanes(&lane_of, &flash_ready)
         } else {
             flash_ready
         };
@@ -559,6 +555,201 @@ impl IceClave {
             finished,
             completions,
         })
+    }
+
+    /// Submits a multi-page program as one batch, timing-only (no
+    /// functional payloads). See [`IceClave::submit_write_batch_as`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_write_batch_as`].
+    pub fn submit_write_batch(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<WriteBatchCompletion, IceClaveError> {
+        let writes: Vec<PageWrite> = lpns.iter().copied().map(PageWrite::new).collect();
+        self.submit_write_batch_as(tee, &writes, now)
+    }
+
+    /// The batched protected write path — the program-side mirror of
+    /// [`IceClave::submit_batch_as`]: ownership-checks, allocates,
+    /// seals and programs a whole page set as one channel-parallel
+    /// request.
+    ///
+    /// Pipeline shape (workflow steps 3–6 of Figure 9, reversed):
+    ///
+    /// 1. the MEE drains the source pages out of the TEE's working
+    ///    half ([`MeeEngine::seal_pages`]): the DRAM read-out gates the
+    ///    downstream stages, while the counter-epoch increments and
+    ///    outbound MAC generation run concurrently with the channel
+    ///    programs and gate durability alone;
+    /// 2. the stream-cipher engines encrypt the outbound pages (all
+    ///    data crossing the flash boundary is ciphertext, §5),
+    ///    pipelining across pages;
+    /// 3. the FTL ownership-checks every page up front — a foreign
+    ///    page aborts the batch *before any allocation or flash
+    ///    traffic* and throws the TEE out (§4.5) — then enters the
+    ///    secure world **once**, steers each page's fresh allocation
+    ///    to the earliest-available channel (a GC pass stalls only its
+    ///    own channel and routes later pages around it) and issues the
+    ///    programs round-robin over the per-channel program queues,
+    ///    each admitted only once its ciphertext exists, coalescing
+    ///    dirty translation-page write-backs to one persist per batch.
+    ///
+    /// A page is durable when its program and its seal metadata have
+    /// both drained; the batch finishes when every page is durable and
+    /// the secure world has been exited. Returns per-page durable
+    /// times in request order.
+    ///
+    /// Writes carrying [`PageWrite::data`] persist that plaintext
+    /// (stream-ciphered) at the page's new physical location, so a
+    /// later [`IceClave::submit_batch`] reads back the exact bytes.
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running. On [`FtlError::AccessDenied`] the TEE
+    /// is thrown out ([`AbortReason::AccessViolation`]) and the error
+    /// is returned; other FTL errors pass through with the TEE intact.
+    pub fn submit_write_batch_as(
+        &mut self,
+        tee: TeeId,
+        writes: &[PageWrite],
+        now: SimTime,
+    ) -> Result<WriteBatchCompletion, IceClaveError> {
+        self.ensure_running(tee)?;
+        if writes.is_empty() {
+            return Ok(WriteBatchCompletion::empty(now));
+        }
+
+        // Stage 1: MEE drain of the source pages (working half of the
+        // TEE region). Only the DRAM read-out gates the downstream
+        // stages; the seal's counter-increment + MAC generation run
+        // concurrently with the channel programs and gate durability
+        // alone. (A batch that the FTL then denies has merely read
+        // DRAM — the access violation throws the TEE out anyway.)
+        let seals: Vec<PageSeal> = {
+            let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
+            let working_pages = (state.region_pages - state.input_pages()).max(1);
+            let working_base = state.region_page + state.input_pages();
+            writes
+                .iter()
+                .map(|_| {
+                    let slot = working_base + (state.next_seal % working_pages);
+                    state.next_seal += 1;
+                    PageSeal {
+                        page: slot,
+                        ready: now,
+                    }
+                })
+                .collect()
+        };
+        let sealed = self.mee.seal_pages(&mut self.platform.dram, &seals);
+
+        // Stage 2: stream encryption of the outbound pages. The target
+        // channel is not known until the FTL allocates, so the
+        // controller hands outbound pages to the cipher engines
+        // round-robin; each engine's timeline serializes its share.
+        let data_out: Vec<SimTime> = sealed.iter().map(|s| s.data_out).collect();
+        let encrypted: Vec<SimTime> = if self.config.cipher_enabled {
+            let lanes = self.cipher_lanes.len();
+            let lane_of: Vec<usize> = (0..writes.len()).map(|i| i % lanes).collect();
+            self.drain_cipher_lanes(&lane_of, &data_out)
+        } else {
+            data_out
+        };
+
+        // Stage 3: the FTL programs the batch; each page's program
+        // admits only once its ciphertext exists (the `ready` gate).
+        let batch = WriteBatchRequest {
+            requests: writes
+                .iter()
+                .zip(&encrypted)
+                .map(|(write, &ready)| iceclave_types::WritePageRequest {
+                    lpn: write.lpn,
+                    ready,
+                })
+                .collect(),
+        };
+        let outcome = match self.platform.ftl.write_batch(
+            Requestor::Tee(tee),
+            &batch,
+            &mut self.platform.monitor,
+            now,
+        ) {
+            Ok(outcome) => outcome,
+            Err(e @ FtlError::AccessDenied { .. }) => {
+                // ThrowOutTEE: writing (or trimming) a page outside the
+                // granted region is an access violation, not a
+                // recoverable error (§4.5).
+                self.throw_out(tee, AbortReason::AccessViolation, now)?;
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // Functional payloads: ciphertext lands at the new physical
+        // page; the IV rides in the per-LPN out-of-band store so GC
+        // relocation cannot orphan it.
+        for (write, page) in writes.iter().zip(&outcome.pages) {
+            if let Some(plaintext) = &write.data {
+                if self.config.cipher_enabled {
+                    let (ciphertext, iv) =
+                        self.cipher.encrypt_page(write.lpn.raw() as u32, plaintext);
+                    self.platform
+                        .ftl
+                        .flash_mut()
+                        .write_data(page.ppn, &ciphertext);
+                    self.page_ivs.insert(write.lpn.raw(), iv);
+                } else {
+                    self.platform
+                        .ftl
+                        .flash_mut()
+                        .write_data(page.ppn, plaintext);
+                }
+            }
+        }
+        self.stats.pages_stored += writes.len() as u64;
+
+        // Durable = program done AND seal metadata (counter + MAC)
+        // drained; the metadata work overlapped the channel programs.
+        let completions: Vec<WritePageCompletion> = outcome
+            .pages
+            .iter()
+            .zip(&sealed)
+            .map(|(page, seal)| WritePageCompletion {
+                lpn: page.lpn,
+                durable_at: page.flash.end.max(seal.sealed),
+            })
+            .collect();
+        let finished = completions
+            .iter()
+            .map(|c| c.durable_at)
+            .fold(outcome.finished, SimTime::max);
+        Ok(WriteBatchCompletion {
+            issued: now,
+            finished,
+            completions,
+        })
+    }
+
+    /// Writes one granted flash page from the TEE (a one-element
+    /// [`IceClave::submit_write_batch`]); programs that know their
+    /// dirty page set ahead of time should batch instead and let the
+    /// device overlap the channels.
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_write_batch_as`].
+    pub fn write_flash_page(
+        &mut self,
+        tee: TeeId,
+        lpn: Lpn,
+        now: SimTime,
+    ) -> Result<SimTime, IceClaveError> {
+        let batch = self.submit_write_batch(tee, &[lpn], now)?;
+        Ok(batch.finished)
     }
 
     /// Host-side data staging with functional content: encrypts
@@ -780,6 +971,30 @@ impl IceClave {
 
     // ---- internals ---------------------------------------------------
 
+    /// Drains the per-channel stream-cipher engines: page `i` becomes
+    /// available at `ready[i]` and occupies lane `lane_of[i]` for one
+    /// page service. Lanes serve in arrival order and persist across
+    /// batches. Returns per-page completion times in input order.
+    fn drain_cipher_lanes(&mut self, lane_of: &[usize], ready: &[SimTime]) -> Vec<SimTime> {
+        let service = self.cipher.page_latency(PAGE_SIZE);
+        let mut by_lane: Vec<Vec<usize>> = vec![Vec::new(); self.cipher_lanes.len()];
+        for (idx, &lane) in lane_of.iter().enumerate() {
+            by_lane[lane].push(idx);
+        }
+        let mut done = ready.to_vec();
+        for (lane, idxs) in by_lane.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let lane_ready: Vec<SimTime> = idxs.iter().map(|&i| ready[i]).collect();
+            let spans = self.cipher_lanes[lane].drain(&lane_ready, service);
+            for (pos, &i) in idxs.iter().enumerate() {
+                done[i] = spans[pos].end;
+            }
+        }
+        done
+    }
+
     fn ensure_running(&self, tee: TeeId) -> Result<(), IceClaveError> {
         match self.tees.get(&tee.raw()) {
             Some(state) if state.status == TeeStatus::Running => Ok(()),
@@ -983,6 +1198,77 @@ mod tests {
         assert_eq!(ice.stats().pages_loaded, 4);
         assert!(ice.mee().stats().fill_writes >= 4 * 64);
         assert!(ice.cipher_mut().pages_decrypted() == 0); // timing path only
+    }
+
+    #[test]
+    fn write_batch_round_trips_payloads() {
+        let (mut ice, t) = setup_with_data(4);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..4), t).unwrap();
+        let writes: Vec<PageWrite> = (0..4u64)
+            .map(|i| PageWrite::with_data(Lpn::new(i), vec![i as u8 ^ 0x5A; 4096]))
+            .collect();
+        let done = ice.submit_write_batch_as(tee, &writes, t).unwrap();
+        assert_eq!(done.len(), 4);
+        assert!(done.finished > t);
+        assert_eq!(ice.stats().pages_stored, 4);
+        // Read back through the protected read path: byte-identical.
+        let read = ice
+            .submit_batch(tee, &[Lpn::new(2)], done.finished)
+            .unwrap();
+        assert_eq!(
+            read.completions[0].data.as_deref(),
+            Some(&[0x58u8; 4096][..])
+        );
+        assert!(ice.mee().stats().seal_reads >= 4 * 64);
+    }
+
+    #[test]
+    fn write_batch_on_foreign_page_throws_the_tee_out() {
+        let (mut ice, t) = setup_with_data(6);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..4), t).unwrap();
+        let programs_before = ice.platform().ftl.flash().stats().programs;
+        let err = ice
+            .submit_write_batch(tee, &[Lpn::new(0), Lpn::new(5)], t)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IceClaveError::Ftl(FtlError::AccessDenied { lpn, .. }) if lpn == Lpn::new(5)
+        ));
+        assert_eq!(
+            ice.status(tee),
+            Some(TeeStatus::Aborted(AbortReason::AccessViolation))
+        );
+        // The atomic denial programmed nothing.
+        assert_eq!(ice.platform().ftl.flash().stats().programs, programs_before);
+        assert_eq!(ice.stats().pages_stored, 0);
+        assert!(matches!(
+            ice.submit_write_batch(tee, &[Lpn::new(0)], t),
+            Err(IceClaveError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn write_flash_page_is_a_one_element_batch() {
+        let (mut ice_a, t) = setup_with_data(2);
+        let (tee_a, t_a) = ice_a.offload_code(1024, &lpns(0..2), t).unwrap();
+        let (mut ice_b, _) = setup_with_data(2);
+        let (tee_b, t_b) = ice_b.offload_code(1024, &lpns(0..2), t).unwrap();
+        assert_eq!(t_a, t_b);
+        let wrapper = ice_a.write_flash_page(tee_a, Lpn::new(1), t_a).unwrap();
+        let batch = ice_b
+            .submit_write_batch(tee_b, &[Lpn::new(1)], t_b)
+            .unwrap()
+            .finished;
+        assert_eq!(wrapper, batch);
+    }
+
+    #[test]
+    fn empty_write_batch_is_free() {
+        let (mut ice, t) = setup_with_data(2);
+        let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        let done = ice.submit_write_batch(tee, &[], t).unwrap();
+        assert!(done.is_empty());
+        assert_eq!(done.finished, t);
     }
 
     #[test]

@@ -138,7 +138,7 @@ pub fn run_colocated(kinds: &[WorkloadKind], wl_config: &WorkloadConfig) -> Vec<
             let session = t.session.expect("session built");
             let tee = t.tee.expect("tee created");
             let done = ice
-                .get_result(tee, 64 << 10, session.clock)
+                .get_result(tee, 64 << 10, session.drained_clock())
                 .and_then(|after| ice.terminate_tee(tee, after))
                 .expect("teardown");
             TenantResult {

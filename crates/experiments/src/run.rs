@@ -128,6 +128,11 @@ pub(crate) struct SsdSession {
     /// the channels for one tenant without camping the whole device
     /// queue indefinitely (multi-tenant fairness, Figures 17/18).
     inflight_loads: [SimTime; 4],
+    /// Durability horizon of the latest transactional commit batch:
+    /// updated pages persist through `submit_write_batch` (group
+    /// commit, overlapped with the next batch's compute via the shared
+    /// flash timelines); the run is only finished once it has drained.
+    pending_commit: SimTime,
     load_stall: SimDuration,
     mem_time: SimDuration,
     ops_time: SimDuration,
@@ -174,6 +179,7 @@ impl SsdSession {
             prev_compute_start: start,
             stream_anchor: start,
             inflight_loads: [start; 4],
+            pending_commit: start,
             load_stall: SimDuration::ZERO,
             mem_time: SimDuration::ZERO,
             ops_time: SimDuration::ZERO,
@@ -331,9 +337,25 @@ impl SsdSession {
         self.mem_time += t.saturating_since(compute_start);
         let done = ice.compute(self.tee, &batch.ops, t)?;
         self.ops_time += done.saturating_since(t);
+        // Transactional batches persist their updated pages through the
+        // batched, channel-parallel program path (group commit): the
+        // write batch is issued when the batch's compute retires and
+        // drains concurrently with the next batch's loads — the shared
+        // flash timelines provide the contention; only the end of the
+        // run waits for the last commit.
+        if batch.random_access && batch.working_writes > 0 && !lpns.is_empty() {
+            let dirty = (batch.working_writes as usize).min(lpns.len());
+            let commit = ice.submit_write_batch(self.tee, &lpns[..dirty], done)?;
+            self.pending_commit = self.pending_commit.max(commit.finished);
+        }
         self.prev_compute_start = compute_start;
         self.clock = done;
         Ok(())
+    }
+
+    /// The tenant's clock including the drain of its last commit batch.
+    pub(crate) fn drained_clock(&self) -> SimTime {
+        self.clock.max(self.pending_commit)
     }
 }
 
@@ -425,7 +447,7 @@ fn run_ssd_with(
     for batch in batches {
         session.step(&mut ice, batch, &cap)?;
     }
-    let t = ice.get_result(tee, 64 << 10, session.clock)?;
+    let t = ice.get_result(tee, 64 << 10, session.drained_clock())?;
     let t = ice.terminate_tee(tee, t)?;
 
     let mee_stats = ice.mee().stats().clone();

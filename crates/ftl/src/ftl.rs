@@ -8,7 +8,9 @@ use std::fmt;
 use iceclave_flash::{BlockAddr, FlashArray, FlashConfig, FlashError};
 use iceclave_sim::ServiceSpan;
 use iceclave_trustzone::{World, WorldMonitor};
-use iceclave_types::{BatchRequest, ByteSize, Lpn, Ppn, SimDuration, SimTime, TeeId};
+use iceclave_types::{
+    BatchRequest, ByteSize, Lpn, Ppn, SimDuration, SimTime, TeeId, WriteBatchRequest,
+};
 
 use crate::cmt::CachedMappingTable;
 use crate::mapping::MappingTable;
@@ -99,6 +101,29 @@ pub struct BatchPageRead {
     /// The flash service span; `flash.end` is when the page data has
     /// crossed the channel bus into the controller.
     pub flash: ServiceSpan,
+}
+
+/// One page of a completed batch write: where it landed and when its
+/// program finished.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct BatchPageWrite {
+    /// The logical page.
+    pub lpn: Lpn,
+    /// The freshly allocated physical page it was programmed to.
+    pub ppn: Ppn,
+    /// The flash service span; `flash.end` is when the program pulse
+    /// completed on the die.
+    pub flash: ServiceSpan,
+}
+
+/// The FTL-level result of a batch write.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct WriteBatchOutcome {
+    /// Per-page outcomes, in request order.
+    pub pages: Vec<BatchPageWrite>,
+    /// When the batch's single secure-world visit ended: all programs
+    /// done and every coalesced dirty translation page persisted.
+    pub finished: SimTime,
 }
 
 /// FTL-level errors.
@@ -244,6 +269,10 @@ pub struct Ftl {
     contents: HashMap<u64, PageContent>,
     translation_ppns: HashMap<u64, Ppn>,
     plane_cursor: usize,
+    /// Per-channel plane cursors of the batched write path: steering
+    /// picks the channel, these spread its programs over the channel's
+    /// planes.
+    channel_cursors: Vec<usize>,
     /// Last request granule translated via a secure-world call (the
     /// Figure 5 ablation amortizes one call per granule).
     last_secure_granule: Option<u64>,
@@ -265,6 +294,7 @@ impl Ftl {
             contents: HashMap::new(),
             translation_ppns: HashMap::new(),
             plane_cursor: 0,
+            channel_cursors: vec![0; flash_config.geometry.channels as usize],
             last_secure_granule: None,
             stats: FtlStats::default(),
         }
@@ -526,28 +556,157 @@ impl Ftl {
         Ok(monitor.switch_to(World::Normal, t))
     }
 
-    /// TRIM: the host (or a terminating TEE) declares `lpn` dead. The
-    /// mapping entry is dropped and the physical page invalidated, so
-    /// GC can reclaim it without copying.
-    pub fn trim(&mut self, lpn: Lpn) -> bool {
-        match self.mapping.remove(lpn) {
+    /// Writes a [`WriteBatchRequest`] of logical pages as one
+    /// channel-parallel program request — the write-side mirror of
+    /// [`Ftl::read_batch`].
+    ///
+    /// All pages are ownership-checked up front — a batch is atomic
+    /// with respect to access control: if any page belongs to another
+    /// TEE, *no* allocation or flash traffic happens and the error
+    /// names the offending page. The batch then enters the secure
+    /// world **once** (against two switches per page on the
+    /// [`Ftl::write`] path) and:
+    ///
+    /// 1. every page is steered to the currently least-loaded channel
+    ///    (GC-aware allocation: a plane whose garbage collection fires
+    ///    mid-batch stalls only its own channel's later programs, and
+    ///    the steering naturally routes subsequent pages away from the
+    ///    stalled channel);
+    /// 2. programs are issued round-robin across the per-channel
+    ///    program queues ([`ChannelScheduler`]), overlapping on the
+    ///    channel-bus and die timelines
+    ///    ([`FlashArray::program_pages`]);
+    /// 3. mapping updates dirty the CMT with *coalesced* write-back:
+    ///    each dirty translation page evicted during the batch is
+    ///    persisted once at the end instead of once per page.
+    ///
+    /// Returns one [`BatchPageWrite`] per request (request order) and
+    /// the time the secure world was exited.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`] (atomic, before any traffic) or
+    /// [`FtlError::CapacityExhausted`].
+    pub fn write_batch(
+        &mut self,
+        requestor: Requestor,
+        batch: &WriteBatchRequest,
+        monitor: &mut WorldMonitor,
+        now: SimTime,
+    ) -> Result<WriteBatchOutcome, FtlError> {
+        if batch.is_empty() {
+            return Ok(WriteBatchOutcome {
+                pages: Vec::new(),
+                finished: now,
+            });
+        }
+        // Phase 1: ownership checks before any allocation or flash
+        // traffic (all-or-nothing, §4.3).
+        if let Requestor::Tee(tee) = requestor {
+            for req in &batch.requests {
+                if let Some(entry) = self.mapping.lookup(req.lpn) {
+                    if entry.owner() != tee {
+                        self.stats.access_denied += 1;
+                        return Err(FtlError::AccessDenied { lpn: req.lpn, tee });
+                    }
+                }
+            }
+        }
+
+        // Phase 2: one secure-world entry amortized over the batch.
+        // The steered helper performs the mapping/validity maintenance
+        // wave by wave (so mid-batch GC always sees a consistent
+        // device) and coalesces CMT dirty evictions.
+        let start = monitor.switch_to(World::Secure, now);
+        let ready: Vec<SimTime> = batch.requests.iter().map(|r| r.ready).collect();
+        let targets: Vec<PageContent> = batch
+            .requests
+            .iter()
+            .map(|r| PageContent::Data(r.lpn))
+            .collect();
+        let fresh_owner = match requestor {
+            Requestor::Tee(tee) => Some(tee),
+            Requestor::Host => None,
+        };
+        let mut evicted: Vec<u64> = Vec::new();
+        let programmed =
+            self.program_batch_steered(&targets, &ready, start, fresh_owner, &mut evicted)?;
+
+        // Phase 3: coalesced write-back — each dirty translation page
+        // evicted during the batch persists once, at the end.
+        let mut t = start;
+        let mut pages = Vec::with_capacity(batch.len());
+        for (req, &(ppn, span)) in batch.requests.iter().zip(&programmed) {
+            t = t.max(span.end);
+            pages.push(BatchPageWrite {
+                lpn: req.lpn,
+                ppn,
+                flash: span,
+            });
+        }
+        for tvpn in evicted {
+            t = self.persist_translation_page(tvpn, t)?;
+        }
+        self.stats.writes += batch.len() as u64;
+        let finished = monitor.switch_to(World::Normal, t);
+        Ok(WriteBatchOutcome { pages, finished })
+    }
+
+    /// TRIM: `requestor` declares `lpn` dead. The mapping entry is
+    /// dropped and the physical page invalidated, so GC can reclaim it
+    /// without copying. The host may trim any page; a TEE only pages
+    /// its ID bits grant (§4.3 — TRIM is as destructive as a write, so
+    /// it takes the same ownership check).
+    ///
+    /// Returns whether a mapping existed.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`] when a TEE trims a page it does not
+    /// own.
+    pub fn trim(&mut self, requestor: Requestor, lpn: Lpn) -> Result<bool, FtlError> {
+        if let (Requestor::Tee(tee), Some(entry)) = (requestor, self.mapping.lookup(lpn)) {
+            if entry.owner() != tee {
+                self.stats.access_denied += 1;
+                return Err(FtlError::AccessDenied { lpn, tee });
+            }
+        }
+        Ok(match self.mapping.remove(lpn) {
             Some(ppn) => {
                 self.invalidate(ppn);
                 let _ = self.cmt.update(lpn);
                 true
             }
             None => false,
-        }
+        })
     }
 
     /// Flushes dirty translation pages to flash (shutdown / teardown).
+    ///
+    /// The dirty set is persisted as one channel-steered program batch
+    /// through the per-channel queues, so shutdown latency shrinks as
+    /// the device grows channels instead of paying a serial
+    /// allocate-program loop.
     pub fn flush_cmt(&mut self, now: SimTime) -> Result<SimTime, FtlError> {
         let dirty = self.cmt.flush();
-        let mut t = now;
-        for tvpn in dirty {
-            t = self.persist_translation_page(tvpn, t)?;
+        if dirty.is_empty() {
+            return Ok(now);
         }
-        Ok(t)
+        let ready = vec![now; dirty.len()];
+        let targets: Vec<PageContent> = dirty
+            .iter()
+            .map(|&tvpn| PageContent::Translation(tvpn))
+            .collect();
+        let mut evicted = Vec::new();
+        let programmed = self.program_batch_steered(&targets, &ready, now, None, &mut evicted)?;
+        debug_assert!(
+            evicted.is_empty(),
+            "translation programs do not touch the CMT"
+        );
+        Ok(programmed
+            .iter()
+            .map(|&(_, span)| span.end)
+            .fold(now, SimTime::max))
     }
 
     /// Total valid data pages (consistency checks and tests).
@@ -656,6 +815,226 @@ impl Ftl {
             .expect("open block was just ensured");
         let addr = self.plane_block_addr(plane_idx, block);
         let page = self.flash.frontier(addr);
+        Ok((g.pack(addr.page(page)), t))
+    }
+
+    /// Allocates and programs `ready.len()` fresh pages as one
+    /// channel-parallel batch, steering each page — *dynamically, in
+    /// request order* — to the channel estimated to accept it
+    /// earliest. Returns `(ppn, program span)` per index, in input
+    /// order.
+    ///
+    /// The steering score is `channel_ready + queued * transfer`: the
+    /// channel's admit horizon (bus backlog at batch entry, plus any
+    /// GC stall accrued *during* the batch) plus the bus time of the
+    /// pages already steered to it. On an idle device this degenerates
+    /// to balanced round-robin; a mid-batch GC pass raises only its
+    /// own channel's horizon, so later pages route around the stalled
+    /// channel until the backlog economics even out. A channel whose
+    /// planes run dry is retried across its remaining planes and then
+    /// deprioritized, so the batch only fails when the whole device is
+    /// out of space.
+    ///
+    /// Programs are issued round-robin through the per-channel program
+    /// queues; allocation uses a shadow frontier so several pages of
+    /// one block stay in NAND program order within the batch.
+    ///
+    /// The mapping/validity maintenance for each page (driven by its
+    /// `targets` entry — data page or translation page) happens at the
+    /// end of its wave, **before** any later wave may garbage-collect:
+    /// a GC pass therefore always sees freshly programmed pages as
+    /// valid and relocates them correctly instead of erasing them as
+    /// garbage. `fresh_owner` grants first-write pages to the writing
+    /// TEE; dirty translation pages evicted by the data-page CMT
+    /// updates are pushed (deduplicated) into `evicted` for the
+    /// caller's coalesced write-back.
+    fn program_batch_steered(
+        &mut self,
+        targets: &[PageContent],
+        ready: &[SimTime],
+        start: SimTime,
+        fresh_owner: Option<TeeId>,
+        evicted: &mut Vec<u64>,
+    ) -> Result<Vec<(Ppn, ServiceSpan)>, FtlError> {
+        let g = self.flash.config().geometry;
+        let channels = g.channels as usize;
+        let planes_per_channel = (self.planes.len() / channels).max(1) as u32;
+        let transfer = self.flash.config().page_transfer_time();
+        let mut assigned = vec![0u64; channels];
+        let mut channel_ready: Vec<SimTime> = (0..channels)
+            .map(|c| start.max(self.flash.channel_next_free(c as u32)))
+            .collect();
+        let mut results: Vec<Option<(Ppn, ServiceSpan)>> = vec![None; ready.len()];
+
+        // The batch proceeds in waves of (at most) one page per
+        // channel — one round-robin sweep of the program queues. The
+        // shadow frontier drains at the end of every wave, so garbage
+        // collection stays available to any plane that runs low at any
+        // wave boundary (the once-per-plane GC gate is per wave, not
+        // per batch) and the batch reclaims space exactly as
+        // aggressively as a sequential write loop would.
+        let mut next = 0usize;
+        while next < ready.len() {
+            let wave_end = (next + channels).min(ready.len());
+            let mut scheduler = ChannelScheduler::new(channels);
+            let mut shadow: HashMap<u64, u32> = HashMap::new();
+            let mut gc_checked = vec![false; self.planes.len()];
+            let mut plane_pending = vec![0u32; self.planes.len()];
+            let mut dry_attempts = vec![0u32; channels];
+            let mut placements: Vec<(Ppn, SimTime)> = Vec::with_capacity(wave_end - next);
+            for (idx, &page_ready) in ready.iter().enumerate().take(wave_end).skip(next) {
+                let (ppn, arrival) = loop {
+                    let ch = (0..channels)
+                        .filter(|&c| dry_attempts[c] <= planes_per_channel)
+                        .min_by_key(|&c| (channel_ready[c] + transfer * assigned[c], c))
+                        .ok_or(FtlError::CapacityExhausted)?;
+                    match self.allocate_in_channel(
+                        ch,
+                        &mut shadow,
+                        &mut gc_checked,
+                        &mut plane_pending,
+                        channel_ready[ch],
+                    ) {
+                        Ok((ppn, gc_done)) => {
+                            // A GC pass stalls only its own channel's
+                            // later programs (and steers pages away
+                            // from it).
+                            channel_ready[ch] = channel_ready[ch].max(gc_done);
+                            assigned[ch] += 1;
+                            scheduler.enqueue_program(ch, idx - next);
+                            break (ppn, channel_ready[ch].max(page_ready));
+                        }
+                        Err(FtlError::CapacityExhausted) => {
+                            // This plane ran dry; its cursor advanced,
+                            // so a retry probes the channel's next
+                            // plane. Only when every channel has
+                            // probed all its planes is the device
+                            // really full.
+                            dry_attempts[ch] += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                placements.push((ppn, arrival));
+            }
+            let order = scheduler.issue_order_mixed();
+            let issue: Vec<(Ppn, SimTime)> =
+                order.iter().map(|item| placements[item.index]).collect();
+            let spans = self.flash.program_pages(&issue)?;
+            for (pos, item) in order.iter().enumerate() {
+                results[next + item.index] = Some((issue[pos].0, spans[pos]));
+            }
+            // Wave maintenance: mapping + validity must be current
+            // before the next wave's allocations may trigger GC.
+            for idx in next..wave_end {
+                let (ppn, span) = results[idx].expect("wave page was scheduled");
+                match targets[idx] {
+                    PageContent::Data(lpn) => {
+                        let old = self.mapping.update(lpn, ppn);
+                        if let (Some(tee), None) = (fresh_owner, old) {
+                            // A fresh page written by a TEE belongs to
+                            // that TEE.
+                            let _ = self.mapping.set_owner(lpn, tee);
+                        }
+                        self.mark_valid(ppn, PageContent::Data(lpn), span.end);
+                        if let Some(old_ppn) = old {
+                            self.invalidate(old_ppn);
+                        }
+                        if let Some(tvpn) = self.cmt.update(lpn).evicted_dirty {
+                            if !evicted.contains(&tvpn) {
+                                evicted.push(tvpn);
+                            }
+                        }
+                    }
+                    PageContent::Translation(tvpn) => {
+                        if let Some(old) = self.translation_ppns.insert(tvpn, ppn) {
+                            self.invalidate(old);
+                        }
+                        self.mark_valid(ppn, PageContent::Translation(tvpn), span.end);
+                    }
+                }
+            }
+            next = wave_end;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every request was scheduled exactly once"))
+            .collect())
+    }
+
+    /// Allocates the next free page of `channel`, advancing the
+    /// channel's plane cursor. `shadow` counts pages allocated but not
+    /// yet programmed per block (keeping batch allocations in NAND
+    /// frontier order); `plane_pending` mirrors it per plane so GC
+    /// never relocates into a block with outstanding allocations.
+    ///
+    /// GC triggers at most once per plane per batch — checked on the
+    /// plane's first allocation, before it holds any shadow pages — and
+    /// again as a last resort when the plane runs dry, provided no
+    /// shadow pages are pending in it.
+    fn allocate_in_channel(
+        &mut self,
+        channel: usize,
+        shadow: &mut HashMap<u64, u32>,
+        gc_checked: &mut [bool],
+        plane_pending: &mut [u32],
+        now: SimTime,
+    ) -> Result<(Ppn, SimTime), FtlError> {
+        let g = self.flash.config().geometry;
+        let channels = g.channels as usize;
+        let planes_per_channel = self.planes.len() / channels;
+        let cursor = self.channel_cursors[channel];
+        self.channel_cursors[channel] = (cursor + 1) % planes_per_channel;
+        let plane_idx = channel * planes_per_channel + cursor % planes_per_channel;
+
+        let mut t = now;
+        if !gc_checked[plane_idx] {
+            gc_checked[plane_idx] = true;
+            if self.free_block_count(plane_idx) < self.config.gc_free_block_threshold
+                && !self.planes[plane_idx].full_blocks.is_empty()
+            {
+                t = self.collect_plane(plane_idx, t)?;
+            }
+        }
+
+        let pages_per_block = g.pages_per_block;
+        let shadowed_frontier = |ftl: &Ftl, shadow: &HashMap<u64, u32>, addr: BlockAddr| -> u32 {
+            ftl.flash.frontier(addr) + shadow.get(&g.block_index(addr)).copied().unwrap_or(0)
+        };
+        let need_new_block = match self.planes[plane_idx].open_block {
+            Some(b) => {
+                let addr = self.plane_block_addr(plane_idx, b);
+                shadowed_frontier(self, shadow, addr) >= pages_per_block
+            }
+            None => true,
+        };
+        if need_new_block {
+            if let Some(prev) = self.planes[plane_idx].open_block.take() {
+                self.planes[plane_idx].full_blocks.push(prev);
+            }
+            let next = match self.take_free_block(plane_idx) {
+                Some(b) => b,
+                // Last resort: the plane ran out mid-batch. GC is only
+                // safe while no batch pages are pending in the plane
+                // (relocation programs would break their NAND order).
+                None if plane_pending[plane_idx] == 0
+                    && !self.planes[plane_idx].full_blocks.is_empty() =>
+                {
+                    t = self.collect_plane(plane_idx, t)?;
+                    self.take_free_block(plane_idx)
+                        .ok_or(FtlError::CapacityExhausted)?
+                }
+                None => return Err(FtlError::CapacityExhausted),
+            };
+            self.planes[plane_idx].open_block = Some(next);
+        }
+        let block = self.planes[plane_idx]
+            .open_block
+            .expect("open block was just ensured");
+        let addr = self.plane_block_addr(plane_idx, block);
+        let page = shadowed_frontier(self, shadow, addr);
+        *shadow.entry(g.block_index(addr)).or_insert(0) += 1;
+        plane_pending[plane_idx] += 1;
         Ok((g.pack(addr.page(page)), t))
     }
 
@@ -1177,14 +1556,37 @@ mod tests {
         ftl.write(Requestor::Host, Lpn::new(3), &mut m, SimTime::ZERO)
             .unwrap();
         assert_eq!(ftl.valid_pages(), 1);
-        assert!(ftl.trim(Lpn::new(3)));
+        assert!(ftl.trim(Requestor::Host, Lpn::new(3)).unwrap());
         assert_eq!(ftl.valid_pages(), 0);
         assert_eq!(
             ftl.read(Requestor::Host, Lpn::new(3), &mut m, SimTime::ZERO),
             Err(FtlError::Unmapped(Lpn::new(3)))
         );
         // Trimming again is a no-op.
-        assert!(!ftl.trim(Lpn::new(3)));
+        assert!(!ftl.trim(Requestor::Host, Lpn::new(3)).unwrap());
+    }
+
+    #[test]
+    fn trim_enforces_ownership() {
+        // Regression: a TEE must not TRIM another TEE's (or unowned)
+        // pages — TRIM destroys data just like a write would.
+        let (mut ftl, mut m) = setup();
+        ftl.write(Requestor::Host, Lpn::new(7), &mut m, SimTime::ZERO)
+            .unwrap();
+        ftl.set_id_bits(&[Lpn::new(7)], tee(1)).unwrap();
+        // A foreign TEE is rejected and the page survives.
+        let err = ftl.trim(Requestor::Tee(tee(2)), Lpn::new(7)).unwrap_err();
+        assert!(matches!(err, FtlError::AccessDenied { lpn, .. } if lpn == Lpn::new(7)));
+        assert_eq!(ftl.stats().access_denied, 1);
+        assert_eq!(ftl.valid_pages(), 1);
+        assert!(ftl
+            .read(Requestor::Tee(tee(1)), Lpn::new(7), &mut m, SimTime::ZERO)
+            .is_ok());
+        // The owner may trim its own page.
+        assert!(ftl.trim(Requestor::Tee(tee(1)), Lpn::new(7)).unwrap());
+        assert_eq!(ftl.valid_pages(), 0);
+        // A TEE trimming an unmapped page is a plain no-op.
+        assert!(!ftl.trim(Requestor::Tee(tee(1)), Lpn::new(99)).unwrap());
     }
 
     #[test]
@@ -1295,6 +1697,245 @@ mod tests {
             "batch {:?} must beat serial {:?}",
             batch_end.saturating_since(t),
             chained.saturating_since(t2)
+        );
+    }
+
+    #[test]
+    fn write_batch_matches_sequential_post_state() {
+        let lpns: Vec<Lpn> = (0..12).map(Lpn::new).collect();
+        let (mut batched, mut mb) = setup();
+        let out = batched
+            .write_batch(
+                Requestor::Host,
+                &WriteBatchRequest::from_lpns(&lpns),
+                &mut mb,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(out.pages.len(), 12);
+
+        let (mut sequential, mut ms) = setup();
+        let mut t = SimTime::ZERO;
+        for &lpn in &lpns {
+            t = sequential.write(Requestor::Host, lpn, &mut ms, t).unwrap();
+        }
+
+        // Identical post-state: same valid-page count, every page
+        // translatable to a programmed physical page, same counters.
+        assert_eq!(batched.valid_pages(), sequential.valid_pages());
+        assert_eq!(batched.stats().writes, sequential.stats().writes);
+        for &lpn in &lpns {
+            let tr = batched
+                .translate(Requestor::Host, lpn, &mut mb, out.finished)
+                .unwrap();
+            assert!(batched.flash().is_written(tr.ppn));
+        }
+        // And the batch's single secure-world visit beats the chained
+        // per-page switches.
+        assert!(out.finished.saturating_since(SimTime::ZERO) < t.saturating_since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn write_batch_amortizes_world_switches() {
+        let (mut ftl, mut m) = setup();
+        let lpns: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+        let before = m.stats().switches;
+        ftl.write_batch(
+            Requestor::Host,
+            &WriteBatchRequest::from_lpns(&lpns),
+            &mut m,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        // One secure entry + one exit for the whole batch (the
+        // sequential path pays a pair per page).
+        assert_eq!(m.stats().switches, before + 2);
+    }
+
+    #[test]
+    fn write_batch_is_atomic_on_foreign_page() {
+        let (mut ftl, mut m) = setup();
+        let mut t = SimTime::ZERO;
+        for i in 0..4u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        ftl.set_id_bits(&[Lpn::new(0), Lpn::new(1)], tee(1))
+            .unwrap();
+        let programs_before = ftl.flash().stats().programs;
+        let writes_before = ftl.stats().writes;
+        // Page 2 belongs to nobody: the whole batch is refused before
+        // any allocation or flash traffic.
+        let err = ftl
+            .write_batch(
+                Requestor::Tee(tee(1)),
+                &WriteBatchRequest::from_lpns(&[Lpn::new(0), Lpn::new(2), Lpn::new(1)]),
+                &mut m,
+                t,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FtlError::AccessDenied { lpn, .. } if lpn == Lpn::new(2)));
+        assert_eq!(ftl.flash().stats().programs, programs_before);
+        assert_eq!(ftl.stats().writes, writes_before);
+    }
+
+    #[test]
+    fn write_batch_grants_fresh_pages_to_the_writing_tee() {
+        let (mut ftl, mut m) = setup();
+        // Fresh (unmapped) pages written by a TEE become TEE-owned.
+        ftl.write_batch(
+            Requestor::Tee(tee(4)),
+            &WriteBatchRequest::from_lpns(&[Lpn::new(10), Lpn::new(11)]),
+            &mut m,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(ftl
+            .read(Requestor::Tee(tee(4)), Lpn::new(10), &mut m, SimTime::ZERO)
+            .is_ok());
+        assert!(matches!(
+            ftl.read(Requestor::Tee(tee(5)), Lpn::new(10), &mut m, SimTime::ZERO),
+            Err(FtlError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn write_batch_overlaps_channels() {
+        // A 16-page batch must beat 16 chained sequential writes on the
+        // same (fresh) device: channel overlap plus switch amortization.
+        let pages = 16u64;
+        let lpns: Vec<Lpn> = (0..pages).map(Lpn::new).collect();
+        let (mut batched, mut mb) = setup();
+        let out = batched
+            .write_batch(
+                Requestor::Host,
+                &WriteBatchRequest::from_lpns(&lpns),
+                &mut mb,
+                SimTime::ZERO,
+            )
+            .unwrap();
+
+        let (mut serial, mut ms) = setup();
+        let mut chained = SimTime::ZERO;
+        for &lpn in &lpns {
+            chained = serial
+                .write(Requestor::Host, lpn, &mut ms, chained)
+                .unwrap();
+        }
+        let batch_latency = out.finished.saturating_since(SimTime::ZERO);
+        let serial_latency = chained.saturating_since(SimTime::ZERO);
+        assert!(
+            batch_latency < serial_latency,
+            "batch {batch_latency} must beat serial {serial_latency}"
+        );
+    }
+
+    #[test]
+    fn write_batch_survives_gc_churn() {
+        // Overwrite a small working set far beyond device capacity in
+        // batches: GC must fire mid-batch and mapping consistency hold.
+        let config = FtlConfig {
+            gc_free_block_threshold: 2,
+            ..FtlConfig::default()
+        };
+        let mut ftl = Ftl::new(FlashConfig::tiny(), config);
+        let mut m = WorldMonitor::with_table5_cost();
+        let mut t = SimTime::ZERO;
+        for round in 0..60u64 {
+            let lpns: Vec<Lpn> = (0..24).map(|i| Lpn::new((round * 7 + i) % 32)).collect();
+            let out = ftl
+                .write_batch(
+                    Requestor::Host,
+                    &WriteBatchRequest::from_lpns(&lpns),
+                    &mut m,
+                    t,
+                )
+                .unwrap();
+            t = out.finished;
+        }
+        assert!(ftl.stats().gc_runs > 0, "GC must have fired mid-batch");
+        assert_eq!(ftl.valid_pages(), 32);
+        for lpn in 0..32u64 {
+            let tr = ftl
+                .translate(Requestor::Host, Lpn::new(lpn), &mut m, t)
+                .unwrap();
+            assert!(ftl.flash().is_written(tr.ppn), "stale mapping for {lpn}");
+        }
+    }
+
+    #[test]
+    fn write_batch_survives_near_full_device() {
+        // Regression: on a nearly-full device a plane can run dry in
+        // the middle of a batch while it still holds pending shadow
+        // allocations. The steering must retry other planes/channels
+        // (and last-resort GC where safe) instead of reporting
+        // CapacityExhausted where sequential writes would succeed.
+        let config = FtlConfig {
+            gc_free_block_threshold: 2,
+            ..FtlConfig::default()
+        };
+        // tiny: 512 physical pages; a 380-page working set is ~74%
+        // utilization, so free blocks are permanently scarce.
+        let working_set = 380u64;
+        let mut ftl = Ftl::new(FlashConfig::tiny(), config);
+        let mut m = WorldMonitor::with_table5_cost();
+        let mut t = SimTime::ZERO;
+        let lpns: Vec<Lpn> = (0..working_set).map(Lpn::new).collect();
+        for chunk in lpns.chunks(64) {
+            let out = ftl
+                .write_batch(
+                    Requestor::Host,
+                    &WriteBatchRequest::from_lpns(chunk),
+                    &mut m,
+                    t,
+                )
+                .unwrap();
+            t = out.finished;
+        }
+        // Keep overwriting 64-page slices of the working set: every
+        // batch races GC for the last free blocks.
+        for round in 0..40u64 {
+            let base = (round * 37) % (working_set - 64);
+            let slice: Vec<Lpn> = (base..base + 64).map(Lpn::new).collect();
+            let out = ftl
+                .write_batch(
+                    Requestor::Host,
+                    &WriteBatchRequest::from_lpns(&slice),
+                    &mut m,
+                    t,
+                )
+                .unwrap();
+            t = out.finished;
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        assert_eq!(ftl.valid_pages(), working_set);
+    }
+
+    #[test]
+    fn flush_cmt_scales_with_channels() {
+        // Dirty a set of translation pages, then flush: the batched
+        // flush must get faster as the device grows channels.
+        let mut latencies = Vec::new();
+        for channels in [2u32, 16] {
+            let mut flash_config = FlashConfig::table3();
+            flash_config.geometry = flash_config.geometry.with_channels(channels);
+            let mut ftl = Ftl::new(flash_config, FtlConfig::default());
+            let mut m = WorldMonitor::with_table5_cost();
+            let mut t = SimTime::ZERO;
+            // 32 distinct translation pages, one write each (512
+            // entries per translation page).
+            for i in 0..32u64 {
+                t = ftl
+                    .write(Requestor::Host, Lpn::new(i * 512), &mut m, t)
+                    .unwrap();
+            }
+            let done = ftl.flush_cmt(t).unwrap();
+            latencies.push(done.saturating_since(t));
+        }
+        assert!(
+            latencies[1] < latencies[0],
+            "16-channel flush {} must beat 2-channel flush {}",
+            latencies[1],
+            latencies[0]
         );
     }
 

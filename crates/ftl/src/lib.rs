@@ -48,6 +48,9 @@ pub mod mapping;
 pub mod scheduler;
 
 pub use cmt::{CachedMappingTable, CmtLookup};
-pub use ftl::{BatchPageRead, Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation};
+pub use ftl::{
+    BatchPageRead, BatchPageWrite, Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation,
+    WriteBatchOutcome,
+};
 pub use mapping::{MappingEntry, MappingTable};
-pub use scheduler::ChannelScheduler;
+pub use scheduler::{ChannelScheduler, QueuedOp, ScheduledItem};

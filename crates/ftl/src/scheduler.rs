@@ -1,16 +1,72 @@
-//! The per-channel queue scheduler of the batched read path.
+//! The per-channel queue scheduler of the batched data path.
 //!
-//! A batch of translated pages is bucketed into one FIFO queue per
-//! flash channel and then issued round-robin across the queues, so
-//! every channel bus starts its first transfer as early as possible
-//! and no channel camps the issue slot while others sit idle. Within a
-//! channel the batch's request order is preserved (the NAND dies
-//! behind one bus serialize anyway; keeping FIFO order makes the
+//! A batch of translated reads and/or allocated programs is bucketed
+//! into per-channel FIFO queues — one *read* queue and one *program*
+//! queue per flash channel — and then issued round-robin across the
+//! channels, so every channel bus starts its first transfer as early
+//! as possible and no channel camps the issue slot while others sit
+//! idle. Within a channel, reads and programs interleave: each sweep
+//! alternates which queue the channel serves, so a read-heavy batch
+//! cannot starve queued programs (or vice versa) on a shared bus.
+//! Within one queue the batch's request order is preserved (the NAND
+//! dies behind one bus serialize anyway; keeping FIFO order makes the
 //! timing reproducible and starvation-free).
 
 use std::collections::VecDeque;
 
-/// Round-robin scheduler over per-channel FIFO queues.
+/// Which device operation a queued item stands for.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum QueuedOp {
+    /// A page read (flash-to-controller).
+    Read,
+    /// A page program (controller-to-flash).
+    Program,
+}
+
+/// One scheduled item of the mixed issue order.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct ScheduledItem {
+    /// Opaque index into the caller's request vector.
+    pub index: usize,
+    /// The operation kind the index was enqueued as.
+    pub op: QueuedOp,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ChannelQueues {
+    reads: VecDeque<usize>,
+    programs: VecDeque<usize>,
+    /// Which queue this channel serves next (alternates per pop).
+    serve_program_next: bool,
+}
+
+impl ChannelQueues {
+    fn len(&self) -> usize {
+        self.reads.len() + self.programs.len()
+    }
+
+    fn pop(&mut self) -> Option<ScheduledItem> {
+        let first_programs = self.serve_program_next;
+        let order = if first_programs {
+            [QueuedOp::Program, QueuedOp::Read]
+        } else {
+            [QueuedOp::Read, QueuedOp::Program]
+        };
+        for op in order {
+            let queue = match op {
+                QueuedOp::Read => &mut self.reads,
+                QueuedOp::Program => &mut self.programs,
+            };
+            if let Some(index) = queue.pop_front() {
+                self.serve_program_next = op == QueuedOp::Read;
+                return Some(ScheduledItem { index, op });
+            }
+        }
+        None
+    }
+}
+
+/// Round-robin scheduler over per-channel read + program FIFO queues.
 ///
 /// Items are opaque indexes into the caller's request vector.
 ///
@@ -27,11 +83,11 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Clone, Debug)]
 pub struct ChannelScheduler {
-    queues: Vec<VecDeque<usize>>,
+    queues: Vec<ChannelQueues>,
 }
 
 impl ChannelScheduler {
-    /// A scheduler over `channels` empty queues.
+    /// A scheduler over `channels` empty queue pairs.
     ///
     /// # Panics
     ///
@@ -39,37 +95,47 @@ impl ChannelScheduler {
     pub fn new(channels: usize) -> Self {
         assert!(channels > 0, "scheduler needs at least one channel");
         ChannelScheduler {
-            queues: vec![VecDeque::new(); channels],
+            queues: vec![ChannelQueues::default(); channels],
         }
     }
 
-    /// Appends `item` to `channel`'s queue.
+    /// Appends read `item` to `channel`'s read queue.
     ///
     /// # Panics
     ///
     /// Panics if `channel` is out of range.
     pub fn enqueue(&mut self, channel: usize, item: usize) {
-        self.queues[channel].push_back(item);
+        self.queues[channel].reads.push_back(item);
     }
 
-    /// Total queued items.
+    /// Appends program `item` to `channel`'s program queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn enqueue_program(&mut self, channel: usize, item: usize) {
+        self.queues[channel].programs.push_back(item);
+    }
+
+    /// Total queued items (reads + programs).
     pub fn len(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queues.iter().map(ChannelQueues::len).sum()
     }
 
     /// True when no items are queued.
     pub fn is_empty(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
+        self.queues.iter().all(|q| q.len() == 0)
     }
 
     /// Drains every queue round-robin: one item per non-empty channel
-    /// per sweep, FIFO within a channel.
-    pub fn issue_order(&mut self) -> Vec<usize> {
+    /// per sweep, alternating reads and programs within a channel, FIFO
+    /// within a queue.
+    pub fn issue_order_mixed(&mut self) -> Vec<ScheduledItem> {
         let mut order = Vec::with_capacity(self.len());
         loop {
             let mut progressed = false;
             for queue in &mut self.queues {
-                if let Some(item) = queue.pop_front() {
+                if let Some(item) = queue.pop() {
                     order.push(item);
                     progressed = true;
                 }
@@ -78,6 +144,16 @@ impl ChannelScheduler {
                 return order;
             }
         }
+    }
+
+    /// Drains every queue round-robin and returns only the indexes
+    /// (convenience for single-kind batches, where the op tag carries
+    /// no information).
+    pub fn issue_order(&mut self) -> Vec<usize> {
+        self.issue_order_mixed()
+            .into_iter()
+            .map(|item| item.index)
+            .collect()
     }
 }
 
@@ -104,6 +180,66 @@ mod tests {
             s.enqueue(0, i);
         }
         assert_eq!(s.issue_order(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn programs_issue_round_robin() {
+        let mut s = ChannelScheduler::new(2);
+        for (ch, item) in [(0, 0), (0, 1), (1, 2)] {
+            s.enqueue_program(ch, item);
+        }
+        let order = s.issue_order_mixed();
+        assert_eq!(
+            order,
+            vec![
+                ScheduledItem {
+                    index: 0,
+                    op: QueuedOp::Program
+                },
+                ScheduledItem {
+                    index: 2,
+                    op: QueuedOp::Program
+                },
+                ScheduledItem {
+                    index: 1,
+                    op: QueuedOp::Program
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reads_and_programs_alternate_within_a_channel() {
+        let mut s = ChannelScheduler::new(1);
+        s.enqueue(0, 0);
+        s.enqueue(0, 1);
+        s.enqueue_program(0, 10);
+        s.enqueue_program(0, 11);
+        let kinds: Vec<(usize, QueuedOp)> = s
+            .issue_order_mixed()
+            .into_iter()
+            .map(|i| (i.index, i.op))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, QueuedOp::Read),
+                (10, QueuedOp::Program),
+                (1, QueuedOp::Read),
+                (11, QueuedOp::Program),
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_queue_yields_to_the_other_kind() {
+        let mut s = ChannelScheduler::new(1);
+        s.enqueue(0, 0);
+        s.enqueue_program(0, 10);
+        s.enqueue_program(0, 11);
+        s.enqueue_program(0, 12);
+        let idxs: Vec<usize> = s.issue_order();
+        assert_eq!(idxs, vec![0, 10, 11, 12]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use iceclave_flash::FlashConfig;
 use iceclave_ftl::{Ftl, FtlConfig, FtlError, Requestor};
 use iceclave_sim::ResourcePool;
 use iceclave_trustzone::WorldMonitor;
-use iceclave_types::{Lpn, SimDuration, SimTime};
+use iceclave_types::{Lpn, SimDuration, SimTime, WriteBatchRequest};
 
 /// Configuration of the computational SSD platform (Table 3).
 #[derive(Clone, Debug)]
@@ -122,18 +122,30 @@ impl SsdPlatform {
     }
 
     /// Host-populates `pages` logical pages starting at `base`
-    /// (sequential dataset load). Returns when the last program
-    /// completes.
+    /// (sequential dataset load). The load goes through the batched,
+    /// channel-parallel program path in chunks, so dataset staging
+    /// overlaps every channel bus instead of serializing per page.
+    /// Returns when the last program completes.
     ///
     /// # Errors
     ///
     /// Propagates FTL allocation failures.
     pub fn populate(&mut self, base: Lpn, pages: u64, now: SimTime) -> Result<SimTime, FtlError> {
+        /// Pages per program batch (one host I/O request granule).
+        const CHUNK: u64 = 64;
         let mut t = now;
-        for i in 0..pages {
-            t = self
-                .ftl
-                .write(Requestor::Host, base.offset(i), &mut self.monitor, t)?;
+        let mut offset = 0;
+        while offset < pages {
+            let n = CHUNK.min(pages - offset);
+            let lpns: Vec<Lpn> = (0..n).map(|i| base.offset(offset + i)).collect();
+            let out = self.ftl.write_batch(
+                Requestor::Host,
+                &WriteBatchRequest::from_lpns(&lpns),
+                &mut self.monitor,
+                t,
+            )?;
+            t = out.finished;
+            offset += n;
         }
         Ok(t)
     }

@@ -103,6 +103,9 @@ pub struct MeeStats {
     /// DMA fill writes (flash-to-DRAM staging); kept separate from
     /// program traffic so Table 1/6 ratios cover program accesses only.
     pub fill_writes: u64,
+    /// DMA seal reads (DRAM-to-flash draining); the write-side mirror
+    /// of `fill_writes`, also billed separately from program traffic.
+    pub seal_reads: u64,
     /// Whole-page re-encryptions caused by minor-counter overflow.
     pub overflow_reencryptions: u64,
     /// RO/RW page migrations (hybrid mode).
@@ -166,6 +169,31 @@ pub struct PageFill {
     pub class: PageClass,
     /// When the deciphered data is available to the fill engine.
     pub ready: SimTime,
+}
+
+/// One page of a batched DRAM drain (DRAM-to-flash persistence) — the
+/// write-side mirror of [`PageFill`].
+#[derive(Copy, Clone, Debug)]
+pub struct PageSeal {
+    /// Source DRAM page.
+    pub page: u64,
+    /// When the flash side is ready to accept the page's outbound
+    /// stream (the seal's metadata work can start immediately; this
+    /// only gates the DRAM reads).
+    pub ready: SimTime,
+}
+
+/// The two completion times of one sealed page.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct SealSpan {
+    /// When the page's data has been read out of DRAM — the outbound
+    /// stream exists from here on, so downstream encryption and the
+    /// flash program may start.
+    pub data_out: SimTime,
+    /// When the seal's metadata work (counter-epoch increment, outbound
+    /// MAC generation) has drained; it proceeds concurrently with the
+    /// downstream stages and only gates durability.
+    pub sealed: SimTime,
 }
 
 /// Metadata block kinds, encoded in the low bits of block ids so that
@@ -322,6 +350,67 @@ impl MeeEngine {
         for i in order {
             let fill = &fills[i];
             done[i] = self.fill_page(dram, fill.page, fill.class, fill.ready);
+        }
+        done
+    }
+
+    /// Seals one whole DRAM page for flash persistence (DRAM-to-flash
+    /// draining through the MEE's streaming path): 64 line reads, a
+    /// counter-epoch increment and an outbound MAC generation, billed
+    /// separately from program traffic. The returned [`SealSpan`]
+    /// separates the data read-out (which gates downstream encryption
+    /// and the flash program) from the metadata completion (which only
+    /// gates durability).
+    pub fn seal_page(&mut self, dram: &mut Dram, page: u64, now: SimTime) -> SealSpan {
+        let first = CacheLine::new(page * LINES_PER_PAGE);
+        let end = dram.access_run(first, LINES_PER_PAGE, MemOp::Read, now);
+        self.stats.seal_reads += LINES_PER_PAGE;
+        if self.config.mode == CounterMode::Unprotected {
+            return SealSpan {
+                data_out: end,
+                sealed: end,
+            };
+        }
+        // The outbound copy gets a fresh counter epoch (its flash-bound
+        // MAC must never reuse a pad) — written straight to DRAM by the
+        // bulk engine, without polluting the core-side counter cache,
+        // exactly like the fill datapath.
+        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
+        self.split_counters
+            .insert(page, SplitCounterBlock::with_major(major + 1));
+        let id = self.counter_id(page, self.effective_class(page));
+        let _ = self.cache.invalidate(id);
+        let _ = dram.access(meta_line(id), MemOp::Write, end);
+        self.stats.extra_enc_writes += 1;
+        self.stats.encryptions += LINES_PER_PAGE;
+        self.stats.verifications += 1;
+        SealSpan {
+            data_out: end,
+            sealed: end + self.config.aes_latency + self.config.mac_latency,
+        }
+    }
+
+    /// Seals a batch of DRAM pages, each admitted at its ready time —
+    /// the write-side analogue of [`MeeEngine::fill_pages`].
+    ///
+    /// Seals are issued in ascending ready order, so counter increments
+    /// and MAC generation of early pages overlap with the channel
+    /// programs of later ones; the DRAM channel timelines provide the
+    /// only serialization. Returns per-page [`SealSpan`]s **in input
+    /// order**.
+    pub fn seal_pages(&mut self, dram: &mut Dram, seals: &[PageSeal]) -> Vec<SealSpan> {
+        let mut order: Vec<usize> = (0..seals.len()).collect();
+        order.sort_by_key(|&i| (seals[i].ready, i));
+        let mut done = vec![
+            SealSpan {
+                data_out: SimTime::ZERO,
+                sealed: SimTime::ZERO,
+            };
+            seals.len()
+        ];
+        for i in order {
+            let seal = &seals[i];
+            done[i] = self.seal_page(dram, seal.page, seal.ready);
         }
         done
     }
@@ -678,6 +767,45 @@ mod tests {
             mee2.read_line(&mut dram2, CacheLine::new(p * 64), SimTime::ZERO);
         }
         assert_eq!(mee2.stats().extra_enc_reads, 8, "split: one per page");
+    }
+
+    #[test]
+    fn seal_bills_counter_epoch_and_mac() {
+        let (mut dram, mut mee) = setup(CounterMode::Hybrid);
+        let span = mee.seal_page(&mut dram, 7, SimTime::ZERO);
+        let s = mee.stats();
+        assert_eq!(s.seal_reads, LINES_PER_PAGE);
+        assert_eq!(s.extra_enc_writes, 1, "fresh counter epoch persisted");
+        assert_eq!(s.verifications, 1, "outbound MAC generated");
+        assert!(span.data_out > SimTime::ZERO);
+        // Metadata work extends past the data read-out.
+        assert!(span.sealed > span.data_out);
+        // Unprotected mode drains without metadata work.
+        let (mut dram2, mut mee2) = setup(CounterMode::Unprotected);
+        let span2 = mee2.seal_page(&mut dram2, 7, SimTime::ZERO);
+        assert_eq!(span2.sealed, span2.data_out);
+        assert_eq!(mee2.stats().extra_enc_writes, 0);
+    }
+
+    #[test]
+    fn seal_pages_returns_input_order() {
+        let (mut dram, mut mee) = setup(CounterMode::Hybrid);
+        let us = |n| SimTime::ZERO + SimDuration::from_micros(n);
+        let seals = [
+            PageSeal {
+                page: 3,
+                ready: us(20),
+            },
+            PageSeal {
+                page: 4,
+                ready: us(0),
+            },
+        ];
+        let done = mee.seal_pages(&mut dram, &seals);
+        assert_eq!(done.len(), 2);
+        // The later-ready page completes later, yet stays at index 0.
+        assert!(done[0].sealed > done[1].sealed);
+        assert_eq!(mee.stats().seal_reads, 2 * LINES_PER_PAGE);
     }
 
     #[test]

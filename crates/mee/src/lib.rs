@@ -48,6 +48,6 @@ pub mod tree;
 
 pub use cache::MetaCache;
 pub use counters::{MajorCounterBlock, PageClass, SplitCounterBlock, MINOR_LIMIT};
-pub use engine::{CounterMode, MeeConfig, MeeEngine, MeeStats, PageFill};
+pub use engine::{CounterMode, MeeConfig, MeeEngine, MeeStats, PageFill, PageSeal, SealSpan};
 pub use secure::{SecureMemory, VerifyError};
 pub use tree::{MerkleTree, TreeGeometry};

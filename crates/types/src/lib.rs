@@ -37,7 +37,10 @@ pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
 pub use freq::Hertz;
-pub use request::{BatchCompletion, BatchRequest, PageCompletion, PageRequest};
+pub use request::{
+    BatchCompletion, BatchRequest, PageCompletion, PageRequest, PageWrite, WriteBatchCompletion,
+    WriteBatchRequest, WritePageCompletion, WritePageRequest,
+};
 pub use size::ByteSize;
 pub use tee::{TeeId, TeeIdError};
 pub use time::{SimDuration, SimTime};

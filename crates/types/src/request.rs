@@ -104,6 +104,131 @@ impl BatchCompletion {
     }
 }
 
+/// One page of a write batch: a logical page the requestor wants
+/// programmed out-of-place, plus when its (encrypted) data is
+/// available to the flash controller.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct WritePageRequest {
+    /// The logical page to (re)write.
+    pub lpn: Lpn,
+    /// When the page's outbound data is ready at the controller
+    /// ([`SimTime::ZERO`] means "at submission": the program waits only
+    /// for the batch's secure-world entry and its channel).
+    pub ready: SimTime,
+}
+
+impl WritePageRequest {
+    /// A request for `lpn` whose data is ready at submission.
+    pub fn new(lpn: Lpn) -> Self {
+        WritePageRequest {
+            lpn,
+            ready: SimTime::ZERO,
+        }
+    }
+}
+
+/// A multi-page program request, issued as one unit so the device can
+/// allocate GC-aware and overlap the channel programs — the write-side
+/// mirror of [`BatchRequest`].
+#[derive(Clone, Eq, PartialEq, Debug, Default)]
+pub struct WriteBatchRequest {
+    /// The pages, in the order the caller produced them.
+    pub requests: Vec<WritePageRequest>,
+}
+
+impl WriteBatchRequest {
+    /// A batch over `lpns`, preserving order, all ready at submission.
+    pub fn from_lpns(lpns: &[Lpn]) -> Self {
+        WriteBatchRequest {
+            requests: lpns.iter().copied().map(WritePageRequest::new).collect(),
+        }
+    }
+
+    /// Number of pages in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// One page of a runtime-level write batch: the logical page plus
+/// optional functional content (plaintext) to persist at it.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct PageWrite {
+    /// The logical page to (re)write.
+    pub lpn: Lpn,
+    /// Plaintext to store at the page's new physical location
+    /// (timing-only simulations carry `None`).
+    pub data: Option<Vec<u8>>,
+}
+
+impl PageWrite {
+    /// A timing-only write of `lpn`.
+    pub fn new(lpn: Lpn) -> Self {
+        PageWrite { lpn, data: None }
+    }
+
+    /// A write of `lpn` carrying functional content.
+    pub fn with_data(lpn: Lpn, data: Vec<u8>) -> Self {
+        PageWrite {
+            lpn,
+            data: Some(data),
+        }
+    }
+}
+
+/// The completion record of one page of a write batch.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct WritePageCompletion {
+    /// The logical page that was written.
+    pub lpn: Lpn,
+    /// When the page is durable: flash program finished and the MEE's
+    /// counter-increment + MAC generation (overlapped with the channel
+    /// programs) has drained.
+    pub durable_at: SimTime,
+}
+
+/// The completion of a whole write batch.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct WriteBatchCompletion {
+    /// When the batch was submitted.
+    pub issued: SimTime,
+    /// When every page was durable and the secure world was exited.
+    pub finished: SimTime,
+    /// Per-page completions, in request order.
+    pub completions: Vec<WritePageCompletion>,
+}
+
+impl WriteBatchCompletion {
+    /// An empty completion for an empty batch.
+    pub fn empty(now: SimTime) -> Self {
+        WriteBatchCompletion {
+            issued: now,
+            finished: now,
+            completions: Vec::new(),
+        }
+    }
+
+    /// Number of completed pages.
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// True when no pages were requested.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// End-to-end simulated latency of the batch.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.issued)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +267,48 @@ mod tests {
             }],
         };
         assert_eq!(done.latency(), SimDuration::from_micros(80));
+    }
+
+    #[test]
+    fn write_batch_request_preserves_order() {
+        let lpns: Vec<Lpn> = (0..5).map(Lpn::new).collect();
+        let batch = WriteBatchRequest::from_lpns(&lpns);
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+        for (i, req) in batch.requests.iter().enumerate() {
+            assert_eq!(req.lpn, Lpn::new(i as u64));
+            assert_eq!(req.ready, SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn page_write_carries_optional_content() {
+        assert_eq!(PageWrite::new(Lpn::new(1)).data, None);
+        let w = PageWrite::with_data(Lpn::new(2), vec![7; 8]);
+        assert_eq!(w.data.as_deref(), Some(&[7u8; 8][..]));
+    }
+
+    #[test]
+    fn empty_write_completion_has_zero_latency() {
+        let t = SimTime::ZERO + SimDuration::from_micros(3);
+        let done = WriteBatchCompletion::empty(t);
+        assert!(done.is_empty());
+        assert_eq!(done.len(), 0);
+        assert_eq!(done.latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn write_latency_spans_issue_to_finish() {
+        let issued = SimTime::ZERO;
+        let finished = issued + SimDuration::from_micros(40);
+        let done = WriteBatchCompletion {
+            issued,
+            finished,
+            completions: vec![WritePageCompletion {
+                lpn: Lpn::new(9),
+                durable_at: finished,
+            }],
+        };
+        assert_eq!(done.latency(), SimDuration::from_micros(40));
     }
 }

@@ -49,6 +49,49 @@
 //! — for pages with functional content — the deciphered plaintext, so
 //! tests can assert byte-identical batch/sequential equivalence
 //! (`tests/batch_equivalence.rs`).
+//!
+//! The **write path** mirrors the read pipeline for programs. A
+//! program submits its dirty page set as one request
+//! (`IceClave::submit_write_batch` / `submit_write_batch_as`, the
+//! latter carrying plaintext payloads); `write_flash_page` is the
+//! one-element wrapper:
+//!
+//! ```text
+//!  submit_write_batch(tee, lpns, now)
+//!      │ 1. ownership-check every page up front (all-or-nothing: a
+//!      │    foreign page aborts the batch before any allocation or
+//!      │    flash traffic and throws the TEE out, §4.5)
+//!      ▼
+//!  Ftl::write_batch ── ONE secure-world entry per batch (vs. two
+//!      │               switches per page on Ftl::write); GC-aware
+//!      │               allocation steers each page to the least-loaded
+//!      │               channel, and a GC pass triggered mid-batch
+//!      │               stalls only its own channel's later programs
+//!      ▼
+//!  ChannelScheduler ── per-channel *program* queues beside the read
+//!      │               queues; reads and writes interleave round-robin
+//!      │               per channel, FIFO within a queue
+//!      ▼
+//!  FlashArray::program_pages ── per-channel bus transfers and per-die
+//!      │                        program pulses overlap/queue on the
+//!      │                        Resource timelines; CMT updates are
+//!      │                        coalesced so each dirty translation
+//!      │                        page persists once per batch
+//!      ▼
+//!  MeeEngine::seal_pages + cipher lanes ── counter-epoch increments,
+//!               outbound MAC generation and per-channel stream
+//!               encryption overlap with the channel programs; a page
+//!               is durable at max(program, seal, encrypt)
+//! ```
+//!
+//! The write vocabulary ([`iceclave_types::WriteBatchRequest`],
+//! [`iceclave_types::WriteBatchCompletion`],
+//! [`iceclave_types::PageWrite`]) carries per-page durable times, and
+//! `tests/write_batch_equivalence.rs` asserts batch/sequential
+//! post-state equivalence, the ThrowOutTEE denial, and the
+//! channel-scaling acceptance criteria. `Ftl::flush_cmt` drains dirty
+//! translation pages through the same steered program path, so
+//! shutdown latency also scales with channels.
 
 pub use iceclave_cipher;
 pub use iceclave_core;

@@ -4,12 +4,15 @@
 use proptest::prelude::*;
 
 use iceclave_repro::iceclave_cipher::trivium::{Trivium, TriviumRef};
+use iceclave_repro::iceclave_core::{IceClave, IceClaveConfig};
 use iceclave_repro::iceclave_flash::{FlashArray, FlashConfig, FlashGeometry};
 use iceclave_repro::iceclave_ftl::{Ftl, FtlConfig, MappingEntry, Requestor};
 use iceclave_repro::iceclave_mee::{MetaCache, SecureMemory};
 use iceclave_repro::iceclave_sim::Resource;
 use iceclave_repro::iceclave_trustzone::WorldMonitor;
-use iceclave_repro::iceclave_types::{ByteSize, CacheLine, Lpn, Ppn, SimDuration, SimTime, TeeId};
+use iceclave_repro::iceclave_types::{
+    ByteSize, CacheLine, Lpn, PageWrite, Ppn, SimDuration, SimTime, TeeId,
+};
 
 use std::collections::HashMap;
 
@@ -129,6 +132,83 @@ proptest! {
             prop_assert!(ftl.flash().is_written(tr.ppn), "LPN {} -> stale {:?}", lpn, tr.ppn);
         }
         prop_assert_eq!(ftl.valid_pages() as usize, written.len());
+    }
+
+    /// Interleaved protected write/read batches keep mapping
+    /// consistency across garbage collection: after any interleaving
+    /// of `submit_write_batch` and `submit_batch` over a working set
+    /// that overwrites the tiny device far beyond its capacity (so GC
+    /// fires mid-run, usually mid-batch), every page still translates,
+    /// `valid_pages` equals the working-set size, and read-back is
+    /// byte-identical to the last write.
+    #[test]
+    fn write_read_batches_stay_consistent_under_gc(
+        ops in prop::collection::vec((0u8..2, prop::collection::vec(0u64..24, 1..24)), 4..28)
+    ) {
+        const WORKING_SET: u64 = 24;
+        let mut ice = IceClave::new(IceClaveConfig::tiny());
+        let mut t = ice.populate(Lpn::new(0), WORKING_SET, SimTime::ZERO).unwrap();
+        let lpns: Vec<Lpn> = (0..WORKING_SET).map(Lpn::new).collect();
+        let (tee, t2) = ice.offload_code(1024, &lpns, t).unwrap();
+        t = t2;
+
+        // Deterministic churn first: overwrite the working set until GC
+        // has fired, so the sampled interleaving runs on a device that
+        // keeps collecting mid-batch.
+        let mut version = 0u8;
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut churn = 0;
+        while ice.platform().ftl.stats().gc_runs == 0 {
+            version = version.wrapping_add(1);
+            let writes: Vec<PageWrite> = (0..WORKING_SET)
+                .map(|l| {
+                    let payload = vec![(l as u8) ^ version; 64];
+                    model.insert(l, payload.clone());
+                    PageWrite::with_data(Lpn::new(l), payload)
+                })
+                .collect();
+            t = ice.submit_write_batch_as(tee, &writes, t).unwrap().finished;
+            churn += 1;
+            prop_assert!(churn < 200, "GC never fired on the tiny device");
+        }
+
+        for (kind, batch_lpns) in &ops {
+            if *kind == 0 {
+                version = version.wrapping_add(1);
+                let writes: Vec<PageWrite> = batch_lpns
+                    .iter()
+                    .map(|&l| {
+                        let payload = vec![(l as u8) ^ version; 64];
+                        model.insert(l, payload.clone());
+                        PageWrite::with_data(Lpn::new(l), payload)
+                    })
+                    .collect();
+                t = ice.submit_write_batch_as(tee, &writes, t).unwrap().finished;
+            } else {
+                let reads: Vec<Lpn> = batch_lpns.iter().map(|&l| Lpn::new(l)).collect();
+                let done = ice.submit_batch(tee, &reads, t).unwrap();
+                t = done.finished;
+                for c in &done.completions {
+                    let expected = model.get(&c.lpn.raw()).expect("populated page");
+                    prop_assert_eq!(
+                        c.data.as_ref(),
+                        Some(expected),
+                        "stale read of lpn {}",
+                        c.lpn
+                    );
+                }
+            }
+        }
+
+        // Post-state: exactly one valid physical page per logical page
+        // and a byte-identical full read-back.
+        prop_assert!(ice.platform().ftl.stats().gc_runs > 0);
+        prop_assert_eq!(ice.platform().ftl.valid_pages(), WORKING_SET);
+        let done = ice.submit_batch(tee, &lpns, t).unwrap();
+        for c in &done.completions {
+            let expected = model.get(&c.lpn.raw()).expect("populated page");
+            prop_assert_eq!(c.data.as_ref(), Some(expected));
+        }
     }
 
     /// NAND contract fuzz: programs must be sequential; the array
