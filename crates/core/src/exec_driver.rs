@@ -1,0 +1,885 @@
+//! The stage semantics behind the asynchronous batch API: IceClave's
+//! [`StageMachine`] implementation and the `IceClave` submission /
+//! completion methods.
+//!
+//! The executor (`iceclave_exec`) owns the event heap, the ticket
+//! table and the completion queue; this module owns what each stage
+//! *does* on the simulator:
+//!
+//! ```text
+//!  read ticket                      write ticket
+//!  ───────────                      ────────────
+//!  submit: translate + ID-bit       submit: ownership check (atomic,
+//!    check (atomic, §4.5), assign     §4.5), assign seal slots,
+//!    fill slots, schedule one         MEE seal drain, schedule one
+//!    FlashRead per page at its        Encrypt per page at its seal
+//!    translation-ready time           read-out time
+//!  FlashRead: die + channel bus     Encrypt: cipher-lane timeline
+//!  Decrypt:   per-channel lane      Program: ONE event per batch —
+//!  Fill:      MEE fill + DRAM         the single secure-world entry
+//!    → completion (plaintext)         of `Ftl::write_batch`, fired
+//!                                     when the last ciphertext exists
+//!                                     → one completion per page at
+//!                                     its durable time
+//! ```
+//!
+//! Because every stage acquires its resource at the simulated time the
+//! event fires, pages of different tickets interleave on the shared
+//! timelines in *time* order rather than call order. Access control
+//! and address translation snapshot at submission (tickets in flight
+//! have no ordering guarantees between each other — drain a ticket
+//! before submitting work that depends on it).
+
+use std::collections::HashMap;
+
+use iceclave_cipher::{CipherEngine, PageIv};
+use iceclave_exec::{Executor, StageEvent, StageMachine};
+use iceclave_ftl::{FtlError, Requestor};
+use iceclave_isc::SsdPlatform;
+use iceclave_mee::{MeeEngine, PageClass, PageSeal, SealSpan};
+use iceclave_sim::Pipeline;
+use iceclave_types::{
+    BatchCompletion, CompletionEvent, LatencyBreakdown, Lpn, PageCompletion, PageStatus, PageWrite,
+    Ppn, SimTime, TeeId, Ticket, TicketKind, WriteBatchCompletion, WriteBatchRequest,
+    WritePageCompletion, WritePageRequest, PAGE_SIZE,
+};
+
+use crate::config::IceClaveConfig;
+use crate::runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats};
+
+/// One pipeline stage of an in-flight page (the executor's event
+/// payload).
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Stage {
+    /// Read path: die cell read + channel bus transfer.
+    FlashRead,
+    /// Read path: per-channel stream-decipher lane.
+    Decrypt,
+    /// Read path: MEE fill into the TEE's input ring (retires the
+    /// page).
+    Fill,
+    /// Write path: per-lane stream-encrypt of the outbound page.
+    Encrypt,
+    /// Write path: the whole batch's single secure-world program phase
+    /// (`Ftl::write_batch`), fired once the last ciphertext exists.
+    /// Kept as one event so the one-entry-per-batch amortization of
+    /// the blocking path is preserved.
+    Program,
+}
+
+/// Per-page in-flight state.
+#[derive(Clone, Debug)]
+struct PageState {
+    lpn: Lpn,
+    /// Reads: the translated physical page. Writes: placeholder until
+    /// the program phase allocates.
+    ppn: Ppn,
+    /// Cipher-lane index (reads: the page's channel; writes:
+    /// round-robin over the lanes, as the target channel is unknown
+    /// until allocation).
+    lane: usize,
+    /// Read fill slot in the TEE's input ring.
+    slot: u64,
+    /// Read fill protection class.
+    class: PageClass,
+    breakdown: LatencyBreakdown,
+    /// Write payload (persisted at program time).
+    payload: Option<Vec<u8>>,
+    /// Whether this page has already pushed its completion (used by
+    /// ticket cancellation at TEE teardown to fail only the remainder).
+    retired: bool,
+    /// Read path: the ticket's next page on the same channel. Within a
+    /// ticket each channel serves its pages FIFO in request order (the
+    /// per-channel queue discipline of `Ftl::read_batch`); the chain
+    /// schedules each page's flash stage only after its predecessor
+    /// issued, so the blocking wrapper reproduces `read_batch` exactly
+    /// while other tickets still interleave in time order.
+    next_same_channel: Option<u32>,
+}
+
+/// Per-ticket in-flight state.
+#[derive(Debug)]
+pub struct Job {
+    tee: TeeId,
+    kind: TicketKind,
+    submitted: SimTime,
+    pages: Vec<PageState>,
+    /// Write path: per-page seal spans (read-out gates encryption,
+    /// metadata completion gates durability).
+    sealed: Vec<SealSpan>,
+    /// Write path: per-page encryption completion times.
+    encrypted: Vec<SimTime>,
+    /// Write path: encrypt stages still outstanding before the program
+    /// phase may fire.
+    pending_encrypts: usize,
+}
+
+/// Disjoint borrows of every runtime component a stage can touch —
+/// the [`StageMachine`] the executor drives.
+pub(crate) struct StageCtx<'a> {
+    pub platform: &'a mut SsdPlatform,
+    pub mee: &'a mut MeeEngine,
+    pub cipher: &'a mut CipherEngine,
+    pub cipher_lanes: &'a mut [Pipeline],
+    pub page_ivs: &'a mut HashMap<u64, PageIv>,
+    pub config: &'a IceClaveConfig,
+    pub stats: &'a mut RuntimeStats,
+    pub jobs: &'a mut HashMap<u64, Job>,
+    pub failed: &'a mut HashMap<u64, IceClaveError>,
+}
+
+/// Deciphers the functional content of a page, if any was stored.
+/// Pages staged through `IceClave::host_store_data` or written with
+/// payloads come back as the original plaintext; content written
+/// directly to flash (no recorded IV) is returned as stored.
+fn decipher_content(
+    platform: &SsdPlatform,
+    cipher: &mut CipherEngine,
+    page_ivs: &HashMap<u64, PageIv>,
+    cipher_enabled: bool,
+    lpn: Lpn,
+    ppn: Ppn,
+) -> Option<Vec<u8>> {
+    let stored = platform.ftl.flash().read_data(ppn)?.to_vec();
+    if !cipher_enabled {
+        return Some(stored);
+    }
+    match page_ivs.get(&lpn.raw()) {
+        Some(iv) => {
+            let iv = *iv;
+            Some(cipher.decrypt_page(&iv, &stored))
+        }
+        None => Some(stored),
+    }
+}
+
+impl StageCtx<'_> {
+    /// Retires `page` of `ticket` as failed at `at`, recording the
+    /// first ticket-level error.
+    fn fail_page(
+        &mut self,
+        exec: &mut Executor<Stage>,
+        ticket: Ticket,
+        page: u32,
+        at: SimTime,
+        error: IceClaveError,
+    ) {
+        self.failed.entry(ticket.raw()).or_insert(error);
+        let Some(job) = self.jobs.get_mut(&ticket.raw()) else {
+            return;
+        };
+        let state = &mut job.pages[page as usize];
+        state.breakdown.ready = at;
+        state.retired = true;
+        let event = CompletionEvent {
+            ticket,
+            kind: job.kind,
+            tee: job.tee,
+            index: page,
+            lpn: state.lpn,
+            status: PageStatus::Failed,
+            breakdown: state.breakdown,
+            data: None,
+        };
+        if exec.push_completion(event) {
+            self.jobs.remove(&ticket.raw());
+        }
+    }
+
+    /// The write ticket's single program phase: one secure-world entry
+    /// for the whole batch, ciphertext-ready gating per page, GC-aware
+    /// channel steering and coalesced CMT write-back — all inside
+    /// [`iceclave_ftl::Ftl::write_batch`].
+    fn program_batch(&mut self, ev: StageEvent<Stage>, exec: &mut Executor<Stage>) {
+        let Some(job) = self.jobs.get_mut(&ev.ticket.raw()) else {
+            return;
+        };
+        let batch = WriteBatchRequest {
+            requests: job
+                .pages
+                .iter()
+                .zip(&job.encrypted)
+                .map(|(page, &ready)| WritePageRequest {
+                    lpn: page.lpn,
+                    ready,
+                })
+                .collect(),
+        };
+        // The secure world is entered against the submission time: the
+        // admit horizon of every channel already reflects whatever the
+        // executor interleaved since then.
+        let outcome = match self.platform.ftl.write_batch(
+            Requestor::Tee(job.tee),
+            &batch,
+            &mut self.platform.monitor,
+            job.submitted,
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Mid-flight failure (device full, or ownership revoked
+                // while in flight — e.g. the TEE was torn down between
+                // submission and drain). The submission-time access
+                // check already ran, so this is not a second §4.5
+                // abort; the ticket fails with the error.
+                let pages = job.pages.len() as u32;
+                for page in 0..pages {
+                    self.fail_page(exec, ev.ticket, page, ev.at, e.clone().into());
+                }
+                return;
+            }
+        };
+
+        // Functional payloads: ciphertext lands at the new physical
+        // page; the IV rides in the per-LPN out-of-band store so GC
+        // relocation cannot orphan it.
+        for (page, out) in job.pages.iter_mut().zip(&outcome.pages) {
+            if let Some(plaintext) = page.payload.take() {
+                if self.config.cipher_enabled {
+                    let (ciphertext, iv) =
+                        self.cipher.encrypt_page(page.lpn.raw() as u32, &plaintext);
+                    self.platform
+                        .ftl
+                        .flash_mut()
+                        .write_data(out.ppn, &ciphertext);
+                    self.page_ivs.insert(page.lpn.raw(), iv);
+                } else {
+                    self.platform
+                        .ftl
+                        .flash_mut()
+                        .write_data(out.ppn, &plaintext);
+                }
+            }
+        }
+        self.stats.pages_stored += job.pages.len() as u64;
+        exec.note_finished(ev.ticket, outcome.finished);
+
+        // Durable = program done AND seal metadata (counter + MAC)
+        // drained; the metadata work overlapped the channel programs.
+        let mut closed = false;
+        for (index, (page, out)) in job.pages.iter_mut().zip(&outcome.pages).enumerate() {
+            let durable = out.flash.end.max(job.sealed[index].sealed);
+            page.ppn = out.ppn;
+            page.breakdown.flash_done = out.flash.end;
+            page.breakdown.ready = durable;
+            page.retired = true;
+            closed = exec.push_completion(CompletionEvent {
+                ticket: ev.ticket,
+                kind: TicketKind::Write,
+                tee: job.tee,
+                index: index as u32,
+                lpn: page.lpn,
+                status: PageStatus::Done,
+                breakdown: page.breakdown,
+                data: None,
+            });
+        }
+        if closed {
+            self.jobs.remove(&ev.ticket.raw());
+        }
+    }
+}
+
+impl StageMachine for StageCtx<'_> {
+    type Stage = Stage;
+
+    fn advance(&mut self, ev: StageEvent<Stage>, exec: &mut Executor<Stage>) {
+        if ev.stage == Stage::Program {
+            self.program_batch(ev, exec);
+            return;
+        }
+        let Some(job) = self.jobs.get_mut(&ev.ticket.raw()) else {
+            return;
+        };
+        let idx = ev.page as usize;
+        match ev.stage {
+            Stage::FlashRead => {
+                let (lpn, snapshot, arrival) = {
+                    let page = &job.pages[idx];
+                    // The flash sees the page at its translation-ready
+                    // time; the event time only fixed the issue order.
+                    (page.lpn, page.ppn, page.breakdown.prepared)
+                };
+                // Advance the ticket's per-channel FIFO chain first, so
+                // the successor issues even if this page fails.
+                if let Some(next) = job.pages[idx].next_same_channel {
+                    let next_ready = job.pages[next as usize].breakdown.prepared;
+                    exec.schedule(next_ready.max(ev.at), ev.ticket, next, Stage::FlashRead);
+                }
+                // Refresh the physical location: garbage collection
+                // triggered by a concurrent ticket may have relocated
+                // the page since submission (the delivered bytes were
+                // snapshotted then; this read is the timing of wherever
+                // the page lives now). A page trimmed mid-flight falls
+                // back to the snapshot location: it usually still
+                // completes with its snapshotted bytes, and only
+                // retires Failed in the rare case GC already erased
+                // that block — racing a trim against an in-flight read
+                // is client misuse either way.
+                let ppn = self.platform.ftl.current_ppn(lpn).unwrap_or(snapshot);
+                if ppn != snapshot {
+                    let geometry = self.platform.ftl.flash().config().geometry;
+                    let page = &mut job.pages[idx];
+                    page.ppn = ppn;
+                    // The decrypt lane follows the channel that
+                    // actually streams the page.
+                    page.lane = geometry.unpack(ppn).channel as usize;
+                }
+                match self.platform.ftl.flash_mut().read_page(ppn, arrival) {
+                    Ok(span) => {
+                        let page = &mut job.pages[idx];
+                        page.breakdown.flash_done = span.end;
+                        if self.config.cipher_enabled {
+                            exec.schedule(span.end, ev.ticket, ev.page, Stage::Decrypt);
+                        } else {
+                            page.breakdown.cipher_done = span.end;
+                            exec.schedule(span.end, ev.ticket, ev.page, Stage::Fill);
+                        }
+                    }
+                    // A stale mapping is an internal invariant
+                    // violation; surface it as a failed page rather
+                    // than a panic.
+                    Err(e) => {
+                        self.fail_page(exec, ev.ticket, ev.page, ev.at, FtlError::from(e).into())
+                    }
+                }
+            }
+            Stage::Decrypt => {
+                let service = self.cipher.page_latency(PAGE_SIZE);
+                let page = &mut job.pages[idx];
+                let span = self.cipher_lanes[page.lane].process(ev.at, service);
+                page.breakdown.cipher_done = span.end;
+                exec.schedule(span.end, ev.ticket, ev.page, Stage::Fill);
+            }
+            Stage::Fill => {
+                let (slot, class) = {
+                    let page = &job.pages[idx];
+                    (page.slot, page.class)
+                };
+                let done = self
+                    .mee
+                    .fill_page(&mut self.platform.dram, slot, class, ev.at);
+                let page = &mut job.pages[idx];
+                page.breakdown.ready = done;
+                page.retired = true;
+                // Functional content was snapshotted at submission
+                // (with the translation), so a concurrent ticket's GC
+                // pass relocating the physical page mid-flight cannot
+                // corrupt the delivered bytes.
+                let data = page.payload.take();
+                let (lpn, breakdown) = (page.lpn, page.breakdown);
+                let tee = job.tee;
+                // A page counts as loaded only once it actually sits in
+                // the TEE's input ring.
+                self.stats.pages_loaded += 1;
+                if exec.push_completion(CompletionEvent {
+                    ticket: ev.ticket,
+                    kind: TicketKind::Read,
+                    tee,
+                    index: ev.page,
+                    lpn,
+                    status: PageStatus::Done,
+                    breakdown,
+                    data,
+                }) {
+                    self.jobs.remove(&ev.ticket.raw());
+                }
+            }
+            Stage::Encrypt => {
+                let service = self.cipher.page_latency(PAGE_SIZE);
+                let page = &mut job.pages[idx];
+                let span = self.cipher_lanes[page.lane].process(ev.at, service);
+                page.breakdown.cipher_done = span.end;
+                job.encrypted[idx] = span.end;
+                job.pending_encrypts -= 1;
+                if job.pending_encrypts == 0 {
+                    // Last ciphertext exists: fire the batch's single
+                    // program phase.
+                    let at = job.encrypted.iter().copied().fold(ev.at, SimTime::max);
+                    exec.schedule(at, ev.ticket, 0, Stage::Program);
+                }
+            }
+            Stage::Program => unreachable!("handled before the per-page dispatch"),
+        }
+    }
+}
+
+impl IceClave {
+    /// Runs `f` with the executor split off from the stage context
+    /// (disjoint field borrows of the runtime).
+    fn drive<R>(&mut self, f: impl FnOnce(&mut Executor<Stage>, &mut StageCtx<'_>) -> R) -> R {
+        let mut ctx = StageCtx {
+            platform: &mut self.platform,
+            mee: &mut self.mee,
+            cipher: &mut self.cipher,
+            cipher_lanes: &mut self.cipher_lanes,
+            page_ivs: &mut self.page_ivs,
+            config: &self.config,
+            stats: &mut self.stats,
+            jobs: &mut self.jobs,
+            failed: &mut self.failed,
+        };
+        f(&mut self.exec, &mut ctx)
+    }
+
+    /// Submits a multi-page read batch to the event-driven executor
+    /// without waiting for it, filling the pages read-only. See
+    /// [`IceClave::submit_batch_async_as`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_batch_async_as`].
+    pub fn submit_batch_async(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
+        self.submit_batch_async_as(tee, lpns, PageClass::ReadOnly, now)
+    }
+
+    /// The non-blocking protected read path: translates and ID-bit
+    /// checks the whole batch **at submission** (atomic — a denied page
+    /// aborts the batch before any flash traffic and throws the TEE
+    /// out, §4.5), assigns the input-ring slots, and schedules one
+    /// flash-read stage event per page. The batch then advances at
+    /// stage granularity — flash read, per-channel decrypt lane, MEE
+    /// fill — interleaved with every other in-flight ticket, and each
+    /// page retires into the completion queue
+    /// ([`IceClave::poll_completions`]).
+    ///
+    /// Tickets in flight together have no ordering guarantees between
+    /// each other: a submitter that needs to read pages a still-open
+    /// write ticket is updating must drain that ticket first.
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running. On [`FtlError::AccessDenied`] the TEE
+    /// is thrown out ([`AbortReason::AccessViolation`]) and the error
+    /// is returned; other FTL errors pass through with the TEE intact.
+    pub fn submit_batch_async_as(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        class: PageClass,
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
+        self.ensure_running(tee)?;
+        if lpns.is_empty() {
+            return Ok(self.exec.open_ticket(TicketKind::Read, 0, now));
+        }
+        let translations = match self.platform.ftl.translate_batch(
+            Requestor::Tee(tee),
+            lpns,
+            &mut self.platform.monitor,
+            now,
+        ) {
+            Ok(translations) => translations,
+            Err(e @ FtlError::AccessDenied { .. }) => {
+                // ThrowOutTEE: touching a page outside the granted
+                // region is an access violation, not a recoverable
+                // error (§4.5).
+                self.throw_out(tee, AbortReason::AccessViolation, now)?;
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // Input-ring slots are assigned in request order at submission,
+        // so the ring semantics match N sequential reads exactly. The
+        // functional content is snapshotted here too — consistent with
+        // the translation snapshot, and immune to a concurrent
+        // ticket's GC relocating the physical page mid-flight.
+        let geometry = self.platform.ftl.flash().config().geometry;
+        let snapshots: Vec<Option<Vec<u8>>> = translations
+            .iter()
+            .zip(lpns)
+            .map(|(translation, &lpn)| {
+                decipher_content(
+                    &self.platform,
+                    &mut self.cipher,
+                    &self.page_ivs,
+                    self.config.cipher_enabled,
+                    lpn,
+                    translation.ppn,
+                )
+            })
+            .collect();
+        let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
+        let mut pages: Vec<PageState> = translations
+            .iter()
+            .zip(lpns)
+            .zip(snapshots)
+            .map(|((translation, &lpn), snapshot)| {
+                let slot = state.region_page + (state.next_fill % state.input_pages());
+                state.next_fill += 1;
+                let mut breakdown = LatencyBreakdown::at_submission(now);
+                breakdown.prepared = translation.ready_at;
+                PageState {
+                    lpn,
+                    ppn: translation.ppn,
+                    lane: geometry.unpack(translation.ppn).channel as usize,
+                    slot,
+                    class,
+                    breakdown,
+                    payload: snapshot,
+                    retired: false,
+                    next_same_channel: None,
+                }
+            })
+            .collect();
+
+        // Per-channel FIFO chains in request order (the queue
+        // discipline of `Ftl::read_batch`): only each channel's head
+        // is scheduled now; successors issue as their predecessors do.
+        let channels = geometry.channels as usize;
+        let mut head: Vec<Option<u32>> = vec![None; channels];
+        let mut prev_in_channel: Vec<Option<u32>> = vec![None; channels];
+        for index in 0..pages.len() {
+            let channel = pages[index].lane;
+            match prev_in_channel[channel] {
+                Some(prev) => pages[prev as usize].next_same_channel = Some(index as u32),
+                None => head[channel] = Some(index as u32),
+            }
+            prev_in_channel[channel] = Some(index as u32);
+        }
+
+        // Logical-read accounting happens at submission; the flash
+        // stages run later, page by page.
+        self.platform.ftl.record_logical_reads(lpns.len() as u64);
+        let ticket = self
+            .exec
+            .open_ticket(TicketKind::Read, lpns.len() as u32, now);
+        for &index in head.iter().flatten() {
+            let ready = pages[index as usize].breakdown.prepared;
+            self.exec.schedule(ready, ticket, index, Stage::FlashRead);
+        }
+        self.jobs.insert(
+            ticket.raw(),
+            Job {
+                tee,
+                kind: TicketKind::Read,
+                submitted: now,
+                pages,
+                sealed: Vec::new(),
+                encrypted: Vec::new(),
+                pending_encrypts: 0,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Submits a multi-page timing-only write batch to the executor
+    /// without waiting for it. See
+    /// [`IceClave::submit_write_batch_async_as`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_write_batch_async_as`].
+    pub fn submit_write_batch_async(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
+        let writes: Vec<PageWrite> = lpns.iter().copied().map(PageWrite::new).collect();
+        self.submit_write_batch_async_as(tee, &writes, now)
+    }
+
+    /// The non-blocking protected write path: ownership-checks the
+    /// whole batch **at submission** (atomic — a foreign page aborts
+    /// before any DRAM or flash traffic and throws the TEE out, §4.5)
+    /// and starts the MEE seal drain of the source pages; each page's
+    /// encrypt stage is scheduled at its seal read-out, and the batch's
+    /// single secure-world program phase fires once the last ciphertext
+    /// exists — by which point the channel admit horizons reflect
+    /// everything the executor interleaved meanwhile. Each page retires
+    /// into the completion queue at its durable time.
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_batch_async_as`].
+    pub fn submit_write_batch_async_as(
+        &mut self,
+        tee: TeeId,
+        writes: &[PageWrite],
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
+        self.ensure_running(tee)?;
+        if writes.is_empty() {
+            return Ok(self.exec.open_ticket(TicketKind::Write, 0, now));
+        }
+        if let Err(e) = self
+            .platform
+            .ftl
+            .check_write_access(Requestor::Tee(tee), writes.iter().map(|w| w.lpn))
+        {
+            if matches!(e, FtlError::AccessDenied { .. }) {
+                // ThrowOutTEE: writing a page outside the granted
+                // region is an access violation (§4.5).
+                self.throw_out(tee, AbortReason::AccessViolation, now)?;
+            }
+            return Err(e.into());
+        }
+
+        // Stage 1 at submission: MEE drain of the source pages (working
+        // half of the TEE region). Only the DRAM read-out gates the
+        // downstream stages; the seal's counter-increment + MAC
+        // generation run concurrently and gate durability alone.
+        let seals: Vec<PageSeal> = {
+            let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
+            let working_pages = (state.region_pages - state.input_pages()).max(1);
+            let working_base = state.region_page + state.input_pages();
+            writes
+                .iter()
+                .map(|_| {
+                    let slot = working_base + (state.next_seal % working_pages);
+                    state.next_seal += 1;
+                    PageSeal {
+                        page: slot,
+                        ready: now,
+                    }
+                })
+                .collect()
+        };
+        let sealed = self.mee.seal_pages(&mut self.platform.dram, &seals);
+
+        // The target channel is unknown until the FTL allocates, so
+        // outbound pages go to the cipher lanes round-robin.
+        let lanes = self.cipher_lanes.len().max(1);
+        let pages: Vec<PageState> = writes
+            .iter()
+            .enumerate()
+            .map(|(i, write)| {
+                let mut breakdown = LatencyBreakdown::at_submission(now);
+                breakdown.prepared = sealed[i].data_out;
+                PageState {
+                    lpn: write.lpn,
+                    ppn: Ppn::new(0),
+                    lane: i % lanes,
+                    slot: 0,
+                    class: PageClass::Writable,
+                    breakdown,
+                    payload: write.data.clone(),
+                    retired: false,
+                    next_same_channel: None,
+                }
+            })
+            .collect();
+
+        let ticket = self
+            .exec
+            .open_ticket(TicketKind::Write, writes.len() as u32, now);
+        let (encrypted, pending_encrypts) = if self.config.cipher_enabled {
+            for (index, span) in sealed.iter().enumerate() {
+                self.exec
+                    .schedule(span.data_out, ticket, index as u32, Stage::Encrypt);
+            }
+            (vec![now; writes.len()], writes.len())
+        } else {
+            // No cipher stage: the program phase fires when the last
+            // seal read-out completes.
+            let encrypted: Vec<SimTime> = sealed.iter().map(|s| s.data_out).collect();
+            let at = encrypted.iter().copied().fold(now, SimTime::max);
+            self.exec.schedule(at, ticket, 0, Stage::Program);
+            (encrypted, 0)
+        };
+        self.jobs.insert(
+            ticket.raw(),
+            Job {
+                tee,
+                kind: TicketKind::Write,
+                submitted: now,
+                pages,
+                encrypted,
+                pending_encrypts,
+                sealed,
+            },
+        );
+        Ok(ticket)
+    }
+
+    /// Advances the executor to `now` and drains every completion that
+    /// became ready at or before `now`, in the documented stable order:
+    /// ascending ready time, same-tick ties by *(ticket id, page
+    /// index)*. Two identical runs drain identical sequences.
+    pub fn poll_completions(&mut self, now: SimTime) -> Vec<CompletionEvent> {
+        self.sweep_stale_errors();
+        self.drive(|exec, ctx| exec.run_until(ctx, now));
+        self.exec.poll(now)
+    }
+
+    /// Runs every in-flight ticket to completion and drains the whole
+    /// completion queue (same order contract as
+    /// [`IceClave::poll_completions`]).
+    pub fn drain_completions(&mut self) -> Vec<CompletionEvent> {
+        self.sweep_stale_errors();
+        self.drive(|exec, ctx| exec.run_to_idle(ctx));
+        self.exec.drain_all()
+    }
+
+    /// Forgets ticket errors whose tickets were already retired by an
+    /// *earlier* drain — a polling consumer gets one full drain cycle
+    /// after seeing a `Failed` event to call
+    /// [`IceClave::take_ticket_error`], and the error map stays bounded
+    /// across long runs.
+    fn sweep_stale_errors(&mut self) {
+        let stale: Vec<u64> = self
+            .failed
+            .keys()
+            .copied()
+            .filter(|&raw| self.exec.issued_at(Ticket::new(raw)).is_none())
+            .collect();
+        for raw in stale {
+            self.failed.remove(&raw);
+        }
+    }
+
+    /// Number of tickets with pages still in flight.
+    pub fn in_flight_tickets(&self) -> usize {
+        self.exec.open_tickets()
+    }
+
+    /// The executor's event clock: the high-water mark of processed
+    /// simulated time.
+    pub fn exec_clock(&self) -> SimTime {
+        self.exec.clock()
+    }
+
+    /// The error that failed `ticket` mid-flight, if any (consumed).
+    pub fn take_ticket_error(&mut self, ticket: Ticket) -> Option<IceClaveError> {
+        self.failed.remove(&ticket.raw())
+    }
+
+    /// Fails every in-flight ticket of `tee` at `now` (TEE teardown):
+    /// un-retired pages push `Failed` completions, the jobs are
+    /// dropped, and each ticket records [`IceClaveError::NotRunning`].
+    /// Stage events still on the heap become no-ops, so nothing can
+    /// touch the TEE's recycled region or identifier afterward.
+    pub(crate) fn cancel_tickets_of(&mut self, tee: TeeId, now: SimTime) {
+        let mut tickets: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, job)| job.tee == tee)
+            .map(|(&raw, _)| raw)
+            .collect();
+        tickets.sort_unstable(); // HashMap order must not leak anywhere
+        for raw in tickets {
+            let ticket = Ticket::new(raw);
+            self.failed
+                .entry(raw)
+                .or_insert(IceClaveError::NotRunning(tee));
+            let mut job = self.jobs.remove(&raw).expect("ticket was just listed");
+            for (index, page) in job.pages.iter_mut().enumerate() {
+                if page.retired {
+                    continue;
+                }
+                page.retired = true;
+                page.breakdown.ready = now;
+                self.exec.push_completion(CompletionEvent {
+                    ticket,
+                    kind: job.kind,
+                    tee,
+                    index: index as u32,
+                    lpn: page.lpn,
+                    status: PageStatus::Failed,
+                    breakdown: page.breakdown,
+                    data: None,
+                });
+            }
+        }
+    }
+
+    /// The shared drain half of the blocking wrappers: runs the heap
+    /// until `ticket` closes (events of other in-flight tickets that
+    /// are due earlier run on the way; their completions stay queued
+    /// for [`IceClave::poll_completions`]), then hands back the
+    /// ticket's `(issued, finished, events-by-page-index)`.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::UnknownTicket`] if the ticket was never issued
+    /// here or its completions were already drained elsewhere; the
+    /// ticket's own mid-flight error if any page failed.
+    fn drain_ticket(
+        &mut self,
+        ticket: Ticket,
+    ) -> Result<(SimTime, SimTime, Vec<CompletionEvent>), IceClaveError> {
+        let Some(issued) = self.exec.issued_at(ticket) else {
+            return Err(self
+                .failed
+                .remove(&ticket.raw())
+                .unwrap_or(IceClaveError::UnknownTicket(ticket)));
+        };
+        if self.exec.drained_of(ticket).unwrap_or(0) > 0 {
+            // Part of the batch already left through poll_completions;
+            // a waited completion would silently miss those pages.
+            // Mixing the two drain styles on one ticket is not
+            // supported — fail loudly instead.
+            return Err(IceClaveError::UnknownTicket(ticket));
+        }
+        self.drive(|exec, ctx| exec.run_ticket(ctx, ticket));
+        let finished = self.exec.finished_at(ticket).unwrap_or(issued);
+        let mut events = self.exec.take_ticket_completions(ticket);
+        if let Some(error) = self.failed.remove(&ticket.raw()) {
+            return Err(error);
+        }
+        events.sort_by_key(|e| e.index);
+        Ok((issued, finished, events))
+    }
+
+    /// Drains one read ticket to completion and assembles the blocking
+    /// [`BatchCompletion`] — the wrapper half of
+    /// [`IceClave::submit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::UnknownTicket`] for a ticket that was never
+    /// issued here or already (even partially) drained through the
+    /// polling API, or the ticket's own mid-flight error.
+    pub fn wait_batch(&mut self, ticket: Ticket) -> Result<BatchCompletion, IceClaveError> {
+        debug_assert_ne!(self.exec.kind_of(ticket), Some(TicketKind::Write));
+        let (issued, finished, events) = self.drain_ticket(ticket)?;
+        let completions: Vec<PageCompletion> = events
+            .into_iter()
+            .map(|e| PageCompletion {
+                lpn: e.lpn,
+                ready_at: e.breakdown.ready,
+                data: e.data,
+            })
+            .collect();
+        Ok(BatchCompletion {
+            issued,
+            finished,
+            completions,
+        })
+    }
+
+    /// Drains one write ticket to completion and assembles the blocking
+    /// [`WriteBatchCompletion`] — the wrapper half of
+    /// [`IceClave::submit_write_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::UnknownTicket`] for a ticket that was never
+    /// issued here or already (even partially) drained through the
+    /// polling API, or the ticket's own mid-flight error.
+    pub fn wait_write_batch(
+        &mut self,
+        ticket: Ticket,
+    ) -> Result<WriteBatchCompletion, IceClaveError> {
+        debug_assert_ne!(self.exec.kind_of(ticket), Some(TicketKind::Read));
+        let (issued, finished, events) = self.drain_ticket(ticket)?;
+        let completions: Vec<WritePageCompletion> = events
+            .into_iter()
+            .map(|e| WritePageCompletion {
+                lpn: e.lpn,
+                durable_at: e.breakdown.ready,
+            })
+            .collect();
+        Ok(WriteBatchCompletion {
+            issued,
+            finished,
+            completions,
+        })
+    }
+}

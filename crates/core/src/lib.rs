@@ -52,9 +52,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod exec_driver;
 pub mod host;
 pub mod runtime;
 
 pub use config::IceClaveConfig;
+pub use exec_driver::Stage;
 pub use host::{HostLibrary, OffloadResult, OffloadTicket};
 pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

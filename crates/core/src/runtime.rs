@@ -9,13 +9,12 @@ use iceclave_cipher::{CipherEngine, PageIv};
 use iceclave_cpu::OpCounts;
 use iceclave_ftl::{FtlError, Requestor};
 use iceclave_isc::SsdPlatform;
-use iceclave_mee::{MeeEngine, PageClass, PageFill, PageSeal};
+use iceclave_mee::{MeeEngine, PageClass};
 use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
-    BatchCompletion, BatchRequest, ByteSize, CacheLine, Lpn, PageCompletion, PageWrite, Ppn,
-    SimTime, TeeId, WriteBatchCompletion, WriteBatchRequest, WritePageCompletion, LINES_PER_PAGE,
-    PAGE_SIZE,
+    BatchCompletion, ByteSize, CacheLine, Lpn, PageWrite, Ppn, SimTime, TeeId,
+    WriteBatchCompletion, LINES_PER_PAGE, PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
@@ -75,6 +74,12 @@ pub enum IceClaveError {
         /// The out-of-bounds line offset.
         line_offset: u64,
     },
+    /// The ticket is not (or no longer) usable with `wait_batch`/
+    /// `wait_write_batch` — it was never issued by this runtime, or
+    /// some or all of its completions were already drained through
+    /// `poll_completions`/`drain_completions` (mixing the two drain
+    /// styles on one ticket is not supported).
+    UnknownTicket(iceclave_types::Ticket),
 }
 
 impl fmt::Display for IceClaveError {
@@ -91,6 +96,9 @@ impl fmt::Display for IceClaveError {
             IceClaveError::Protection(e) => write!(f, "protection: {e}"),
             IceClaveError::RegionViolation { tee, line_offset } => {
                 write!(f, "{tee} accessed line {line_offset} outside its region")
+            }
+            IceClaveError::UnknownTicket(ticket) => {
+                write!(f, "{ticket} is unknown or already drained")
             }
         }
     }
@@ -136,19 +144,19 @@ pub struct RuntimeStats {
 }
 
 #[derive(Debug)]
-struct TeeState {
-    status: TeeStatus,
+pub(crate) struct TeeState {
+    pub(crate) status: TeeStatus,
     lpns: Vec<Lpn>,
     /// First DRAM page of the TEE's preallocated region.
-    region_page: u64,
+    pub(crate) region_page: u64,
     /// Pages in the region.
-    region_pages: u64,
+    pub(crate) region_pages: u64,
     /// Ring cursor for input fills (first half of the region is the
     /// read-only input buffer, second half the writable working set).
-    next_fill: u64,
+    pub(crate) next_fill: u64,
     /// Ring cursor for outbound seals (pages drained from the working
     /// half toward flash by the batched write path).
-    next_seal: u64,
+    pub(crate) next_seal: u64,
     /// The user's data-decryption key, provisioned over the secure
     /// channel with the offloaded program (§4.6). Lives in the secure
     /// metadata region; cleared at teardown.
@@ -156,7 +164,7 @@ struct TeeState {
 }
 
 impl TeeState {
-    fn input_pages(&self) -> u64 {
+    pub(crate) fn input_pages(&self) -> u64 {
         self.region_pages / 2
     }
 }
@@ -167,27 +175,35 @@ impl TeeState {
 #[derive(Debug)]
 pub struct IceClave {
     /// The SSD platform (FTL, DRAM, cores, monitor).
-    platform: SsdPlatform,
-    mee: MeeEngine,
-    cipher: CipherEngine,
+    pub(crate) platform: SsdPlatform,
+    pub(crate) mee: MeeEngine,
+    pub(crate) cipher: CipherEngine,
     /// Per-channel stream-cipher engines (§5 puts the cipher units
     /// between the flash controllers and the internal bus, so each
     /// channel ciphers its own stream — decryption on reads,
     /// encryption on writes): one page per engine at a time,
     /// overlapping with the other channels' transfers.
-    cipher_lanes: Vec<Pipeline>,
+    pub(crate) cipher_lanes: Vec<Pipeline>,
     /// Per-LPN IVs of functionally encrypted page content (the model's
     /// stand-in for the IV metadata the controller keeps in the
     /// out-of-band area). Keyed by LPN so GC relocation cannot orphan
     /// them.
-    page_ivs: HashMap<u64, PageIv>,
+    pub(crate) page_ivs: HashMap<u64, PageIv>,
     memory_map: MemoryMap,
-    config: IceClaveConfig,
-    tees: HashMap<u8, TeeState>,
+    pub(crate) config: IceClaveConfig,
+    pub(crate) tees: HashMap<u8, TeeState>,
     free_ids: Vec<TeeId>,
     used_ids: Vec<bool>,
     free_regions: Vec<u64>,
-    stats: RuntimeStats,
+    pub(crate) stats: RuntimeStats,
+    /// The event-driven batch executor behind the asynchronous
+    /// submission API (and, via the thin blocking wrappers, behind
+    /// `submit_batch`/`submit_write_batch` too).
+    pub(crate) exec: iceclave_exec::Executor<crate::exec_driver::Stage>,
+    /// Per-ticket in-flight pipeline state.
+    pub(crate) jobs: HashMap<u64, crate::exec_driver::Job>,
+    /// Ticket-level errors of batches that failed mid-flight.
+    pub(crate) failed: HashMap<u64, IceClaveError>,
 }
 
 impl IceClave {
@@ -242,6 +258,9 @@ impl IceClave {
             used_ids: vec![false; 16],
             free_regions,
             stats: RuntimeStats::default(),
+            exec: iceclave_exec::Executor::new(),
+            jobs: HashMap::new(),
+            failed: HashMap::new(),
         }
     }
 
@@ -482,79 +501,11 @@ impl IceClave {
         class: PageClass,
         now: SimTime,
     ) -> Result<BatchCompletion, IceClaveError> {
-        self.ensure_running(tee)?;
-        if lpns.is_empty() {
-            return Ok(BatchCompletion::empty(now));
-        }
-        let batch = BatchRequest::from_lpns(lpns);
-        let reads = match self.platform.ftl.read_batch(
-            Requestor::Tee(tee),
-            &batch,
-            &mut self.platform.monitor,
-            now,
-        ) {
-            Ok(reads) => reads,
-            Err(e @ FtlError::AccessDenied { .. }) => {
-                // ThrowOutTEE: touching a page outside the granted
-                // region is an access violation, not a recoverable
-                // error (§4.5).
-                self.throw_out(tee, AbortReason::AccessViolation, now)?;
-                return Err(e.into());
-            }
-            Err(e) => return Err(e.into()),
-        };
-
-        // Stage 3: stream decryption. Each channel's cipher engine
-        // drains its own pages in flash-completion order, overlapping
-        // with the other channels' transfers and decrypts.
-        let flash_ready: Vec<SimTime> = reads.iter().map(|r| r.flash.end).collect();
-        let deciphered: Vec<SimTime> = if self.config.cipher_enabled {
-            let geometry = self.platform.ftl.flash().config().geometry;
-            let lane_of: Vec<usize> = reads
-                .iter()
-                .map(|read| geometry.unpack(read.ppn).channel as usize)
-                .collect();
-            self.drain_cipher_lanes(&lane_of, &flash_ready)
-        } else {
-            flash_ready
-        };
-
-        // Stage 4: MEE fills into the input ring. Slots are assigned in
-        // *request* order so the ring semantics match N sequential
-        // reads exactly.
-        let fills: Vec<PageFill> = {
-            let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
-            deciphered
-                .iter()
-                .map(|&ready| {
-                    let slot = state.region_page + (state.next_fill % state.input_pages());
-                    state.next_fill += 1;
-                    PageFill {
-                        page: slot,
-                        class,
-                        ready,
-                    }
-                })
-                .collect()
-        };
-        let done = self.mee.fill_pages(&mut self.platform.dram, &fills);
-        self.stats.pages_loaded += lpns.len() as u64;
-
-        let completions: Vec<PageCompletion> = reads
-            .iter()
-            .zip(&done)
-            .map(|(read, &ready_at)| PageCompletion {
-                lpn: read.lpn,
-                ready_at,
-                data: self.decipher_content(read.lpn, read.ppn),
-            })
-            .collect();
-        let finished = done.iter().copied().max().unwrap_or(now);
-        Ok(BatchCompletion {
-            issued: now,
-            finished,
-            completions,
-        })
+        // Thin wrapper over the event-driven executor: submit one
+        // ticket, drain it. With no other tickets in flight this runs
+        // the same stages the call-graph used to run inline.
+        let ticket = self.submit_batch_async_as(tee, lpns, class, now)?;
+        self.wait_batch(ticket)
     }
 
     /// Submits a multi-page program as one batch, timing-only (no
@@ -618,120 +569,11 @@ impl IceClave {
         writes: &[PageWrite],
         now: SimTime,
     ) -> Result<WriteBatchCompletion, IceClaveError> {
-        self.ensure_running(tee)?;
-        if writes.is_empty() {
-            return Ok(WriteBatchCompletion::empty(now));
-        }
-
-        // Stage 1: MEE drain of the source pages (working half of the
-        // TEE region). Only the DRAM read-out gates the downstream
-        // stages; the seal's counter-increment + MAC generation run
-        // concurrently with the channel programs and gate durability
-        // alone. (A batch that the FTL then denies has merely read
-        // DRAM — the access violation throws the TEE out anyway.)
-        let seals: Vec<PageSeal> = {
-            let state = self.tees.get_mut(&tee.raw()).expect("running tee exists");
-            let working_pages = (state.region_pages - state.input_pages()).max(1);
-            let working_base = state.region_page + state.input_pages();
-            writes
-                .iter()
-                .map(|_| {
-                    let slot = working_base + (state.next_seal % working_pages);
-                    state.next_seal += 1;
-                    PageSeal {
-                        page: slot,
-                        ready: now,
-                    }
-                })
-                .collect()
-        };
-        let sealed = self.mee.seal_pages(&mut self.platform.dram, &seals);
-
-        // Stage 2: stream encryption of the outbound pages. The target
-        // channel is not known until the FTL allocates, so the
-        // controller hands outbound pages to the cipher engines
-        // round-robin; each engine's timeline serializes its share.
-        let data_out: Vec<SimTime> = sealed.iter().map(|s| s.data_out).collect();
-        let encrypted: Vec<SimTime> = if self.config.cipher_enabled {
-            let lanes = self.cipher_lanes.len();
-            let lane_of: Vec<usize> = (0..writes.len()).map(|i| i % lanes).collect();
-            self.drain_cipher_lanes(&lane_of, &data_out)
-        } else {
-            data_out
-        };
-
-        // Stage 3: the FTL programs the batch; each page's program
-        // admits only once its ciphertext exists (the `ready` gate).
-        let batch = WriteBatchRequest {
-            requests: writes
-                .iter()
-                .zip(&encrypted)
-                .map(|(write, &ready)| iceclave_types::WritePageRequest {
-                    lpn: write.lpn,
-                    ready,
-                })
-                .collect(),
-        };
-        let outcome = match self.platform.ftl.write_batch(
-            Requestor::Tee(tee),
-            &batch,
-            &mut self.platform.monitor,
-            now,
-        ) {
-            Ok(outcome) => outcome,
-            Err(e @ FtlError::AccessDenied { .. }) => {
-                // ThrowOutTEE: writing (or trimming) a page outside the
-                // granted region is an access violation, not a
-                // recoverable error (§4.5).
-                self.throw_out(tee, AbortReason::AccessViolation, now)?;
-                return Err(e.into());
-            }
-            Err(e) => return Err(e.into()),
-        };
-
-        // Functional payloads: ciphertext lands at the new physical
-        // page; the IV rides in the per-LPN out-of-band store so GC
-        // relocation cannot orphan it.
-        for (write, page) in writes.iter().zip(&outcome.pages) {
-            if let Some(plaintext) = &write.data {
-                if self.config.cipher_enabled {
-                    let (ciphertext, iv) =
-                        self.cipher.encrypt_page(write.lpn.raw() as u32, plaintext);
-                    self.platform
-                        .ftl
-                        .flash_mut()
-                        .write_data(page.ppn, &ciphertext);
-                    self.page_ivs.insert(write.lpn.raw(), iv);
-                } else {
-                    self.platform
-                        .ftl
-                        .flash_mut()
-                        .write_data(page.ppn, plaintext);
-                }
-            }
-        }
-        self.stats.pages_stored += writes.len() as u64;
-
-        // Durable = program done AND seal metadata (counter + MAC)
-        // drained; the metadata work overlapped the channel programs.
-        let completions: Vec<WritePageCompletion> = outcome
-            .pages
-            .iter()
-            .zip(&sealed)
-            .map(|(page, seal)| WritePageCompletion {
-                lpn: page.lpn,
-                durable_at: page.flash.end.max(seal.sealed),
-            })
-            .collect();
-        let finished = completions
-            .iter()
-            .map(|c| c.durable_at)
-            .fold(outcome.finished, SimTime::max);
-        Ok(WriteBatchCompletion {
-            issued: now,
-            finished,
-            completions,
-        })
+        // Thin wrapper over the event-driven executor: submit one
+        // ticket, drain it. With no other tickets in flight this runs
+        // the same stages the call-graph used to run inline.
+        let ticket = self.submit_write_batch_async_as(tee, writes, now)?;
+        self.wait_write_batch(ticket)
     }
 
     /// Writes one granted flash page from the TEE (a one-element
@@ -784,24 +626,6 @@ impl IceClave {
                 .write_data(translation.ppn, plaintext);
         }
         Ok(())
-    }
-
-    /// Deciphers the functional content of a page, if any was stored.
-    /// Pages staged through [`IceClave::host_store_data`] come back as
-    /// the original plaintext; content written directly to flash (no
-    /// recorded IV) is returned as stored.
-    fn decipher_content(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Vec<u8>> {
-        let stored = self.platform.ftl.flash().read_data(ppn)?.to_vec();
-        if !self.config.cipher_enabled {
-            return Some(stored);
-        }
-        match self.page_ivs.get(&lpn.raw()) {
-            Some(iv) => {
-                let iv = *iv;
-                Some(self.cipher.decrypt_page(&iv, &stored))
-            }
-            None => Some(stored),
-        }
     }
 
     /// A protected read of one cache line at `line_offset` within the
@@ -971,31 +795,7 @@ impl IceClave {
 
     // ---- internals ---------------------------------------------------
 
-    /// Drains the per-channel stream-cipher engines: page `i` becomes
-    /// available at `ready[i]` and occupies lane `lane_of[i]` for one
-    /// page service. Lanes serve in arrival order and persist across
-    /// batches. Returns per-page completion times in input order.
-    fn drain_cipher_lanes(&mut self, lane_of: &[usize], ready: &[SimTime]) -> Vec<SimTime> {
-        let service = self.cipher.page_latency(PAGE_SIZE);
-        let mut by_lane: Vec<Vec<usize>> = vec![Vec::new(); self.cipher_lanes.len()];
-        for (idx, &lane) in lane_of.iter().enumerate() {
-            by_lane[lane].push(idx);
-        }
-        let mut done = ready.to_vec();
-        for (lane, idxs) in by_lane.iter().enumerate() {
-            if idxs.is_empty() {
-                continue;
-            }
-            let lane_ready: Vec<SimTime> = idxs.iter().map(|&i| ready[i]).collect();
-            let spans = self.cipher_lanes[lane].drain(&lane_ready, service);
-            for (pos, &i) in idxs.iter().enumerate() {
-                done[i] = spans[pos].end;
-            }
-        }
-        done
-    }
-
-    fn ensure_running(&self, tee: TeeId) -> Result<(), IceClaveError> {
+    pub(crate) fn ensure_running(&self, tee: TeeId) -> Result<(), IceClaveError> {
         match self.tees.get(&tee.raw()) {
             Some(state) if state.status == TeeStatus::Running => Ok(()),
             Some(_) => Err(IceClaveError::NotRunning(tee)),
@@ -1037,6 +837,10 @@ impl IceClave {
         state.user_key = None; // keys never outlive the TEE
         let lpns = state.lpns.clone();
         let region_page = state.region_page;
+        // The TEE's in-flight executor tickets die with it: their
+        // remaining pages fail immediately, so no stale stage event can
+        // ever touch the recycled region or act under the recycled id.
+        self.cancel_tickets_of(tee, now);
         self.platform.ftl.clear_id_bits(&lpns);
         self.free_regions.push(region_page);
         self.free_ids.push(tee);

@@ -1,0 +1,187 @@
+//! The completion queue of the asynchronous batch API.
+
+use iceclave_types::{CompletionEvent, SimTime, Ticket};
+
+/// Retired pages waiting to be drained by the submitter.
+///
+/// Every page of every in-flight ticket lands here exactly once. The
+/// drain order is **documented and stable**: events drain in ascending
+/// ready time, and events that became ready at the same simulated tick
+/// drain in *(ticket id, page index)* order — never in the incidental
+/// order the executor's stages happened to retire them.
+///
+/// # Examples
+///
+/// ```
+/// use iceclave_exec::CompletionQueue;
+/// use iceclave_types::{
+///     CompletionEvent, LatencyBreakdown, Lpn, PageStatus, SimTime, TeeId, Ticket, TicketKind,
+/// };
+///
+/// let page = |ticket: u64, index: u32| CompletionEvent {
+///     ticket: Ticket::new(ticket),
+///     kind: TicketKind::Read,
+///     tee: TeeId::new(1).unwrap(),
+///     index,
+///     lpn: Lpn::new(index as u64),
+///     status: PageStatus::Done,
+///     breakdown: LatencyBreakdown::at_submission(SimTime::ZERO),
+///     data: None,
+/// };
+/// let mut q = CompletionQueue::new();
+/// // Pushed out of order; all ready at the same tick.
+/// q.push(page(2, 0));
+/// q.push(page(1, 3));
+/// q.push(page(1, 0));
+/// let drained = q.drain_due(SimTime::ZERO);
+/// let order: Vec<(u64, u32)> = drained.iter().map(|e| (e.ticket.raw(), e.index)).collect();
+/// assert_eq!(order, vec![(1, 0), (1, 3), (2, 0)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CompletionQueue {
+    pending: Vec<CompletionEvent>,
+}
+
+impl CompletionQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        CompletionQueue {
+            pending: Vec::new(),
+        }
+    }
+
+    /// Enqueues one retired page.
+    pub fn push(&mut self, event: CompletionEvent) {
+        self.pending.push(event);
+    }
+
+    /// Number of undrained completions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is waiting to be drained.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drains every completion ready at or before `now`, in the
+    /// documented *(ready, ticket id, page index)* order. Later
+    /// completions stay queued.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<CompletionEvent> {
+        let mut due: Vec<CompletionEvent> = Vec::new();
+        let mut keep: Vec<CompletionEvent> = Vec::new();
+        for ev in self.pending.drain(..) {
+            if ev.ready_at() <= now {
+                due.push(ev);
+            } else {
+                keep.push(ev);
+            }
+        }
+        self.pending = keep;
+        Self::sort(&mut due);
+        due
+    }
+
+    /// Drains every queued completion regardless of ready time, in the
+    /// documented *(ready, ticket id, page index)* order.
+    pub fn drain_all(&mut self) -> Vec<CompletionEvent> {
+        let mut all: Vec<CompletionEvent> = self.pending.drain(..).collect();
+        Self::sort(&mut all);
+        all
+    }
+
+    /// Removes and returns every queued completion of `ticket`, sorted
+    /// by *(ready, page index)* — used by the blocking wrappers to
+    /// drain exactly their own batch.
+    pub fn take_ticket(&mut self, ticket: Ticket) -> Vec<CompletionEvent> {
+        let mut taken: Vec<CompletionEvent> = Vec::new();
+        let mut keep: Vec<CompletionEvent> = Vec::new();
+        for ev in self.pending.drain(..) {
+            if ev.ticket == ticket {
+                taken.push(ev);
+            } else {
+                keep.push(ev);
+            }
+        }
+        self.pending = keep;
+        Self::sort(&mut taken);
+        taken
+    }
+
+    fn sort(events: &mut [CompletionEvent]) {
+        events.sort_by_key(|e| (e.ready_at(), e.ticket, e.index));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iceclave_types::{LatencyBreakdown, Lpn, PageStatus, SimDuration, TeeId, TicketKind};
+
+    fn event(ticket: u64, index: u32, ready_ns: u64) -> CompletionEvent {
+        let mut breakdown = LatencyBreakdown::at_submission(SimTime::ZERO);
+        breakdown.ready = SimTime::ZERO + SimDuration::from_nanos(ready_ns);
+        CompletionEvent {
+            ticket: Ticket::new(ticket),
+            kind: TicketKind::Read,
+            tee: TeeId::new(1).unwrap(),
+            index,
+            lpn: Lpn::new(u64::from(index)),
+            status: PageStatus::Done,
+            breakdown,
+            data: None,
+        }
+    }
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn same_tick_drains_by_ticket_then_page_index() {
+        // Regression for the documented stable order: push in reverse
+        // and shuffled order, all at the same tick.
+        let mut q = CompletionQueue::new();
+        for (ticket, index) in [(3, 1), (1, 2), (2, 0), (1, 0), (3, 0), (1, 1)] {
+            q.push(event(ticket, index, 100));
+        }
+        let drained = q.drain_due(at(100));
+        let order: Vec<(u64, u32)> = drained.iter().map(|e| (e.ticket.raw(), e.index)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (1, 2), (2, 0), (3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn drain_due_leaves_future_completions_queued() {
+        let mut q = CompletionQueue::new();
+        q.push(event(1, 0, 50));
+        q.push(event(1, 1, 500));
+        assert_eq!(q.drain_due(at(100)).len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_due(at(500)).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ready_time_orders_before_ticket_id() {
+        let mut q = CompletionQueue::new();
+        q.push(event(1, 0, 200));
+        q.push(event(2, 0, 100));
+        let drained = q.drain_due(at(200));
+        assert_eq!(drained[0].ticket.raw(), 2, "earlier tick first");
+        assert_eq!(drained[1].ticket.raw(), 1);
+    }
+
+    #[test]
+    fn take_ticket_extracts_only_that_batch() {
+        let mut q = CompletionQueue::new();
+        q.push(event(1, 1, 100));
+        q.push(event(2, 0, 50));
+        q.push(event(1, 0, 100));
+        let mine = q.take_ticket(Ticket::new(1));
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].index, 0);
+        assert_eq!(mine[1].index, 1);
+        assert_eq!(q.len(), 1);
+    }
+}

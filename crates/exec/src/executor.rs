@@ -1,0 +1,453 @@
+//! The deterministic discrete-event executor driving batches at stage
+//! granularity.
+
+use std::collections::BTreeMap;
+
+use iceclave_sim::{EventClock, KeyedEventQueue};
+use iceclave_types::{CompletionEvent, SimTime, Ticket, TicketKind};
+
+use crate::completion::CompletionQueue;
+
+/// One due stage event handed to the [`StageMachine`].
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct StageEvent<S> {
+    /// The simulated time the event fires.
+    pub at: SimTime,
+    /// The batch the event belongs to.
+    pub ticket: Ticket,
+    /// The page index within the batch (stage events that act on the
+    /// whole batch use index 0).
+    pub page: u32,
+    /// The machine-defined stage payload.
+    pub stage: S,
+}
+
+/// The stage semantics the executor drives.
+///
+/// The executor owns *when* and *in which order* stages run (the event
+/// heap, the ticket table, the completion queue); the machine owns
+/// *what* a stage does — acquiring simulator resource timelines,
+/// scheduling successor stages, and retiring pages. `advance` receives
+/// the executor back so it can call [`Executor::schedule`] and
+/// [`Executor::push_completion`].
+pub trait StageMachine {
+    /// The machine-defined stage payload carried by every event.
+    type Stage;
+
+    /// Processes one due event.
+    fn advance(&mut self, event: StageEvent<Self::Stage>, exec: &mut Executor<Self::Stage>);
+}
+
+#[derive(Copy, Clone, Debug)]
+struct TicketState {
+    kind: TicketKind,
+    pages: u32,
+    remaining: u32,
+    drained: u32,
+    issued: SimTime,
+    finished: SimTime,
+}
+
+/// The deterministic batch executor: an event heap over stage events,
+/// a ticket table, and the [`CompletionQueue`].
+///
+/// Determinism contract: events fire in ascending time; events due at
+/// the same simulated tick fire in *(ticket id, page index)* order.
+/// Two identical submission sequences therefore process every stage —
+/// and drain every completion — in exactly the same order.
+#[derive(Debug)]
+pub struct Executor<S> {
+    events: KeyedEventQueue<(u64, u32), (Ticket, u32, S)>,
+    clock: EventClock,
+    completions: CompletionQueue,
+    next_ticket: u64,
+    tickets: BTreeMap<u64, TicketState>,
+}
+
+impl<S> Executor<S> {
+    /// An idle executor with no tickets in flight.
+    pub fn new() -> Self {
+        Executor {
+            events: KeyedEventQueue::new(),
+            clock: EventClock::new(),
+            completions: CompletionQueue::new(),
+            next_ticket: 1,
+            tickets: BTreeMap::new(),
+        }
+    }
+
+    /// Opens a ticket for a `pages`-page batch submitted at `now`.
+    /// A zero-page ticket is born closed with `finished == now`.
+    pub fn open_ticket(&mut self, kind: TicketKind, pages: u32, now: SimTime) -> Ticket {
+        let ticket = Ticket::new(self.next_ticket);
+        self.next_ticket += 1;
+        self.tickets.insert(
+            ticket.raw(),
+            TicketState {
+                kind,
+                pages,
+                remaining: pages,
+                drained: 0,
+                issued: now,
+                finished: now,
+            },
+        );
+        ticket
+    }
+
+    /// Schedules a stage event for `(ticket, page)` at `at`.
+    pub fn schedule(&mut self, at: SimTime, ticket: Ticket, page: u32, stage: S) {
+        self.events
+            .push(at, (ticket.raw(), page), (ticket, page, stage));
+    }
+
+    /// Retires one page into the completion queue, folding its ready
+    /// time into the ticket's finish time. Returns `true` when this was
+    /// the ticket's last outstanding page (the ticket is now closed).
+    pub fn push_completion(&mut self, event: CompletionEvent) -> bool {
+        let ticket = event.ticket.raw();
+        let ready = event.ready_at();
+        self.completions.push(event);
+        let Some(state) = self.tickets.get_mut(&ticket) else {
+            debug_assert!(false, "completion for unknown ticket#{ticket}");
+            return true;
+        };
+        debug_assert!(state.remaining > 0, "ticket#{ticket} over-completed");
+        state.remaining = state.remaining.saturating_sub(1);
+        state.finished = state.finished.max(ready);
+        state.remaining == 0
+    }
+
+    /// Folds a batch-level completion time (e.g. the write path's
+    /// secure-world exit) into the ticket's finish time.
+    pub fn note_finished(&mut self, ticket: Ticket, at: SimTime) {
+        if let Some(state) = self.tickets.get_mut(&ticket.raw()) {
+            state.finished = state.finished.max(at);
+        }
+    }
+
+    /// True when every page of `ticket` has retired (unknown and
+    /// already-drained tickets count as closed).
+    pub fn is_closed(&self, ticket: Ticket) -> bool {
+        self.tickets
+            .get(&ticket.raw())
+            .is_none_or(|s| s.remaining == 0)
+    }
+
+    /// When `ticket` finished, if it is closed and not yet drained.
+    pub fn finished_at(&self, ticket: Ticket) -> Option<SimTime> {
+        self.tickets
+            .get(&ticket.raw())
+            .filter(|s| s.remaining == 0)
+            .map(|s| s.finished)
+    }
+
+    /// When `ticket` was submitted, if it is not yet drained.
+    pub fn issued_at(&self, ticket: Ticket) -> Option<SimTime> {
+        self.tickets.get(&ticket.raw()).map(|s| s.issued)
+    }
+
+    /// The direction of `ticket`, if it is not yet drained.
+    pub fn kind_of(&self, ticket: Ticket) -> Option<TicketKind> {
+        self.tickets.get(&ticket.raw()).map(|s| s.kind)
+    }
+
+    /// Number of pages `ticket` was opened with, if it is not yet
+    /// drained.
+    pub fn pages_of(&self, ticket: Ticket) -> Option<u32> {
+        self.tickets.get(&ticket.raw()).map(|s| s.pages)
+    }
+
+    /// Number of `ticket`'s completions already drained through
+    /// [`Executor::poll`]/[`Executor::drain_all`], if the ticket is not
+    /// yet retired.
+    pub fn drained_of(&self, ticket: Ticket) -> Option<u32> {
+        self.tickets.get(&ticket.raw()).map(|s| s.drained)
+    }
+
+    /// Number of tickets with pages still in flight.
+    pub fn open_tickets(&self) -> usize {
+        self.tickets.values().filter(|s| s.remaining > 0).count()
+    }
+
+    /// Number of stage events waiting on the heap.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The executor's event clock (high-water mark of processed
+    /// simulated time).
+    pub fn clock(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Processes every stage event due at or before `now`.
+    pub fn run_until<M>(&mut self, machine: &mut M, now: SimTime)
+    where
+        M: StageMachine<Stage = S>,
+    {
+        while let Some((at, _, (ticket, page, stage))) = self.events.pop_due(now) {
+            self.clock.advance_to(at);
+            machine.advance(
+                StageEvent {
+                    at,
+                    ticket,
+                    page,
+                    stage,
+                },
+                self,
+            );
+        }
+    }
+
+    /// Processes stage events (in global time order) until `ticket`
+    /// closes — the drain half of the blocking wrappers. Events of
+    /// other in-flight tickets that are due earlier run on the way.
+    pub fn run_ticket<M>(&mut self, machine: &mut M, ticket: Ticket)
+    where
+        M: StageMachine<Stage = S>,
+    {
+        while !self.is_closed(ticket) {
+            let Some((at, _, (t, page, stage))) = self.events.pop() else {
+                debug_assert!(false, "{ticket} can never close: event heap ran dry");
+                break;
+            };
+            self.clock.advance_to(at);
+            machine.advance(
+                StageEvent {
+                    at,
+                    ticket: t,
+                    page,
+                    stage,
+                },
+                self,
+            );
+        }
+    }
+
+    /// Processes every pending stage event regardless of time.
+    pub fn run_to_idle<M>(&mut self, machine: &mut M)
+    where
+        M: StageMachine<Stage = S>,
+    {
+        while let Some((at, _, (ticket, page, stage))) = self.events.pop() {
+            self.clock.advance_to(at);
+            machine.advance(
+                StageEvent {
+                    at,
+                    ticket,
+                    page,
+                    stage,
+                },
+                self,
+            );
+        }
+    }
+
+    /// Drains every completion ready at or before `now` in the
+    /// documented *(ready, ticket id, page index)* order, retiring
+    /// fully drained tickets. Does **not** advance the event loop —
+    /// callers run [`Executor::run_until`] first.
+    pub fn poll(&mut self, now: SimTime) -> Vec<CompletionEvent> {
+        let drained = self.completions.drain_due(now);
+        self.bookkeep_drained(&drained);
+        drained
+    }
+
+    /// Drains every queued completion regardless of ready time (same
+    /// order contract as [`Executor::poll`]), retiring fully drained
+    /// tickets.
+    pub fn drain_all(&mut self) -> Vec<CompletionEvent> {
+        let drained = self.completions.drain_all();
+        self.bookkeep_drained(&drained);
+        drained
+    }
+
+    /// Removes and returns every queued completion of `ticket`, sorted
+    /// by *(ready, page index)*, retiring the ticket if it is closed.
+    pub fn take_ticket_completions(&mut self, ticket: Ticket) -> Vec<CompletionEvent> {
+        let taken = self.completions.take_ticket(ticket);
+        if let Some(state) = self.tickets.get_mut(&ticket.raw()) {
+            state.drained += taken.len() as u32;
+        }
+        self.retire_drained();
+        taken
+    }
+
+    /// Counts `drained` against their tickets and forgets closed
+    /// tickets whose completions have all been drained (bookkeeping
+    /// stays bounded across long runs).
+    fn bookkeep_drained(&mut self, drained: &[CompletionEvent]) {
+        for ev in drained {
+            if let Some(state) = self.tickets.get_mut(&ev.ticket.raw()) {
+                state.drained += 1;
+            }
+        }
+        self.retire_drained();
+    }
+
+    /// Forgets closed tickets whose completions have all been drained
+    /// (bookkeeping stays bounded across long runs).
+    fn retire_drained(&mut self) {
+        self.tickets
+            .retain(|_, s| s.remaining > 0 || s.drained < s.pages);
+    }
+}
+
+impl<S> Default for Executor<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iceclave_types::{LatencyBreakdown, Lpn, PageStatus, SimDuration, TeeId};
+
+    /// A toy machine: every page takes `hops` stage events, each 10 ns
+    /// apart, then retires.
+    struct Toy {
+        hops: u32,
+        trace: Vec<(u64, u32, u32)>,
+    }
+
+    impl StageMachine for Toy {
+        type Stage = u32;
+
+        fn advance(&mut self, ev: StageEvent<u32>, exec: &mut Executor<u32>) {
+            self.trace.push((ev.ticket.raw(), ev.page, ev.stage));
+            if ev.stage + 1 < self.hops {
+                exec.schedule(
+                    ev.at + SimDuration::from_nanos(10),
+                    ev.ticket,
+                    ev.page,
+                    ev.stage + 1,
+                );
+            } else {
+                let mut breakdown = LatencyBreakdown::at_submission(SimTime::ZERO);
+                breakdown.ready = ev.at;
+                exec.push_completion(CompletionEvent {
+                    ticket: ev.ticket,
+                    kind: TicketKind::Read,
+                    tee: TeeId::new(1).unwrap(),
+                    index: ev.page,
+                    lpn: Lpn::new(u64::from(ev.page)),
+                    status: PageStatus::Done,
+                    breakdown,
+                    data: None,
+                });
+            }
+        }
+    }
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    fn submit(exec: &mut Executor<u32>, pages: u32, now: SimTime) -> Ticket {
+        let ticket = exec.open_ticket(TicketKind::Read, pages, now);
+        for page in 0..pages {
+            exec.schedule(now, ticket, page, 0);
+        }
+        ticket
+    }
+
+    #[test]
+    fn same_tick_stages_run_in_ticket_then_page_order() {
+        let mut exec = Executor::new();
+        let mut toy = Toy {
+            hops: 1,
+            trace: Vec::new(),
+        };
+        // Submit in reverse page order within one tick.
+        let t1 = exec.open_ticket(TicketKind::Read, 2, at(0));
+        let t2 = exec.open_ticket(TicketKind::Read, 1, at(0));
+        exec.schedule(at(0), t2, 0, 0);
+        exec.schedule(at(0), t1, 1, 0);
+        exec.schedule(at(0), t1, 0, 0);
+        exec.run_to_idle(&mut toy);
+        assert_eq!(
+            toy.trace,
+            vec![(t1.raw(), 0, 0), (t1.raw(), 1, 0), (t2.raw(), 0, 0)]
+        );
+    }
+
+    #[test]
+    fn run_ticket_closes_the_target_and_runs_earlier_events() {
+        let mut exec = Executor::new();
+        let mut toy = Toy {
+            hops: 3,
+            trace: Vec::new(),
+        };
+        let t1 = submit(&mut exec, 2, at(0));
+        let t2 = submit(&mut exec, 1, at(0));
+        exec.run_ticket(&mut toy, t2);
+        assert!(exec.is_closed(t2));
+        // t1's events at the same ticks ran on the way (lower ticket).
+        assert!(exec.is_closed(t1));
+        assert_eq!(exec.finished_at(t2), Some(at(20)));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_pending() {
+        let mut exec = Executor::new();
+        let mut toy = Toy {
+            hops: 3,
+            trace: Vec::new(),
+        };
+        let t = submit(&mut exec, 1, at(0));
+        exec.run_until(&mut toy, at(10));
+        assert!(!exec.is_closed(t));
+        assert_eq!(exec.pending_events(), 1);
+        assert_eq!(exec.clock(), at(10));
+        exec.run_until(&mut toy, at(20));
+        assert!(exec.is_closed(t));
+        assert_eq!(exec.poll(at(20)).len(), 1);
+    }
+
+    #[test]
+    fn zero_page_ticket_is_born_closed() {
+        let mut exec: Executor<u32> = Executor::new();
+        let t = exec.open_ticket(TicketKind::Write, 0, at(5));
+        assert!(exec.is_closed(t));
+        assert_eq!(exec.finished_at(t), Some(at(5)));
+        assert_eq!(exec.issued_at(t), Some(at(5)));
+    }
+
+    #[test]
+    fn drained_tickets_are_retired() {
+        let mut exec = Executor::new();
+        let mut toy = Toy {
+            hops: 1,
+            trace: Vec::new(),
+        };
+        let t = submit(&mut exec, 2, at(0));
+        exec.run_to_idle(&mut toy);
+        assert_eq!(exec.open_tickets(), 0);
+        let events = exec.take_ticket_completions(t);
+        assert_eq!(events.len(), 2);
+        assert_eq!(exec.finished_at(t), None, "ticket forgotten after drain");
+    }
+
+    #[test]
+    fn identical_runs_trace_identically() {
+        let run = || {
+            let mut exec = Executor::new();
+            let mut toy = Toy {
+                hops: 2,
+                trace: Vec::new(),
+            };
+            submit(&mut exec, 3, at(0));
+            submit(&mut exec, 2, at(5));
+            exec.run_to_idle(&mut toy);
+            let drained: Vec<(u64, u32)> = exec
+                .poll(at(1_000))
+                .iter()
+                .map(|e| (e.ticket.raw(), e.index))
+                .collect();
+            (toy.trace, drained)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -260,15 +260,27 @@ impl SsdSession {
                 staged_lpns.push(Lpn::new(lpn));
             }
         }
-        if !lpns.is_empty() {
-            let done = ice.submit_batch_as(self.tee, &lpns, fill_class, issue)?;
-            load_done = load_done.max(done.finished);
+        // Both load batches are submitted to the event-driven executor
+        // as concurrent tickets before either is drained: the staged
+        // re-fetches interleave with the main scan at stage granularity
+        // (channel gaps, decrypt lanes) instead of queueing wholesale
+        // behind it. Staged re-fetches stream in read-only (they back
+        // lookups, not in-place updates).
+        let main_ticket = if lpns.is_empty() {
+            None
+        } else {
+            Some(ice.submit_batch_async_as(self.tee, &lpns, fill_class, issue)?)
+        };
+        let staged_ticket = if staged_lpns.is_empty() {
+            None
+        } else {
+            Some(ice.submit_batch_async(self.tee, &staged_lpns, issue)?)
+        };
+        if let Some(ticket) = main_ticket {
+            load_done = load_done.max(ice.wait_batch(ticket)?.finished);
         }
-        if !staged_lpns.is_empty() {
-            // Staged re-fetches stream in read-only (they back lookups,
-            // not in-place updates).
-            let done = ice.submit_batch(self.tee, &staged_lpns, issue)?;
-            load_done = load_done.max(done.finished);
+        if let Some(ticket) = staged_ticket {
+            load_done = load_done.max(ice.wait_batch(ticket)?.finished);
         }
         self.inflight_loads.rotate_left(1);
         self.inflight_loads[3] = load_done;
@@ -345,7 +357,8 @@ impl SsdSession {
         // run waits for the last commit.
         if batch.random_access && batch.working_writes > 0 && !lpns.is_empty() {
             let dirty = (batch.working_writes as usize).min(lpns.len());
-            let commit = ice.submit_write_batch(self.tee, &lpns[..dirty], done)?;
+            let ticket = ice.submit_write_batch_async(self.tee, &lpns[..dirty], done)?;
+            let commit = ice.wait_write_batch(ticket)?;
             self.pending_commit = self.pending_commit.max(commit.finished);
         }
         self.prev_compute_start = compute_start;

@@ -422,6 +422,56 @@ impl Ftl {
         })
     }
 
+    /// Translates (and permission-checks) a whole batch of logical
+    /// pages up front — phase 1 of [`Ftl::read_batch`], exposed so the
+    /// event-driven executor can run the atomic access check at
+    /// submission and schedule the flash stage per page.
+    ///
+    /// A batch is atomic with respect to access control: if any page is
+    /// denied or unmapped, the error names the offending page and *no*
+    /// page counts as read. CMT hits are normal-world reads of the
+    /// protected region and pipeline with each other; misses serialize
+    /// through the secure world exactly as in the single-page path.
+    ///
+    /// Callers account the logical reads themselves once their flash
+    /// phase is issued ([`Ftl::record_logical_reads`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`] or [`FtlError::Unmapped`].
+    pub fn translate_batch(
+        &mut self,
+        requestor: Requestor,
+        lpns: &[Lpn],
+        monitor: &mut WorldMonitor,
+        now: SimTime,
+    ) -> Result<Vec<Translation>, FtlError> {
+        let mut translations = Vec::with_capacity(lpns.len());
+        for &lpn in lpns {
+            let translation = self.translate(requestor, lpn, monitor, now)?;
+            translations.push(translation);
+        }
+        Ok(translations)
+    }
+
+    /// Accounts `n` logical reads served — the accounting hook of the
+    /// batch read paths: [`Ftl::read_batch`] calls it once its flash
+    /// phase is issued, the event-driven executor at submission (its
+    /// flash stages run later, page by page).
+    pub fn record_logical_reads(&mut self, n: u64) {
+        self.stats.reads += n;
+    }
+
+    /// The current physical location of `lpn`, if mapped — **not** a
+    /// translation (no permission check, no CMT traffic, no billing).
+    /// The executor uses it to refresh a read ticket's submission-time
+    /// snapshot right before the flash stage: garbage collection
+    /// triggered by a concurrent ticket may have relocated the page,
+    /// and the device always reads wherever the page currently lives.
+    pub fn current_ppn(&self, lpn: Lpn) -> Option<Ppn> {
+        self.mapping.lookup(lpn).map(|entry| entry.ppn())
+    }
+
     /// Reads logical page `lpn`: translation (with permission check)
     /// followed by the flash page read. Returns when the data has
     /// reached the controller.
@@ -470,15 +520,7 @@ impl Ftl {
         now: SimTime,
     ) -> Result<Vec<BatchPageRead>, FtlError> {
         let lpns: Vec<Lpn> = batch.requests.iter().map(|r| r.lpn).collect();
-        // Phase 1: translate everything. CMT hits are normal-world
-        // reads of the protected region and pipeline with each other;
-        // misses serialize through the secure world exactly as in the
-        // single-page path.
-        let mut translations = Vec::with_capacity(lpns.len());
-        for &lpn in &lpns {
-            let translation = self.translate(requestor, lpn, monitor, now)?;
-            translations.push(translation);
-        }
+        let translations = self.translate_batch(requestor, &lpns, monitor, now)?;
 
         // Phase 2: channel-aware issue. Bucket by the physical page's
         // channel, then interleave round-robin.
@@ -494,7 +536,7 @@ impl Ftl {
             .map(|&idx| (translations[idx].ppn, translations[idx].ready_at))
             .collect();
         let spans = self.flash.read_pages(&issue)?;
-        self.stats.reads += lpns.len() as u64;
+        self.record_logical_reads(lpns.len() as u64);
 
         let mut results: Vec<Option<BatchPageRead>> = vec![None; lpns.len()];
         for (pos, &idx) in order.iter().enumerate() {
@@ -602,16 +644,7 @@ impl Ftl {
         }
         // Phase 1: ownership checks before any allocation or flash
         // traffic (all-or-nothing, §4.3).
-        if let Requestor::Tee(tee) = requestor {
-            for req in &batch.requests {
-                if let Some(entry) = self.mapping.lookup(req.lpn) {
-                    if entry.owner() != tee {
-                        self.stats.access_denied += 1;
-                        return Err(FtlError::AccessDenied { lpn: req.lpn, tee });
-                    }
-                }
-            }
-        }
+        self.check_write_access(requestor, batch.requests.iter().map(|r| r.lpn))?;
 
         // Phase 2: one secure-world entry amortized over the batch.
         // The steered helper performs the mapping/validity maintenance
@@ -650,6 +683,37 @@ impl Ftl {
         self.stats.writes += batch.len() as u64;
         let finished = monitor.switch_to(World::Normal, t);
         Ok(WriteBatchOutcome { pages, finished })
+    }
+
+    /// Ownership-checks a whole prospective write batch without
+    /// touching the device — phase 1 of [`Ftl::write_batch`], exposed
+    /// so the event-driven executor can run the atomic access check at
+    /// submission and defer the program phase until the outbound
+    /// ciphertext exists.
+    ///
+    /// A mapped page owned by another TEE denies the whole batch
+    /// (all-or-nothing, §4.3); unmapped pages pass (a fresh write
+    /// claims them).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AccessDenied`], naming the first offending page.
+    pub fn check_write_access(
+        &mut self,
+        requestor: Requestor,
+        lpns: impl IntoIterator<Item = Lpn>,
+    ) -> Result<(), FtlError> {
+        if let Requestor::Tee(tee) = requestor {
+            for lpn in lpns {
+                if let Some(entry) = self.mapping.lookup(lpn) {
+                    if entry.owner() != tee {
+                        self.stats.access_denied += 1;
+                        return Err(FtlError::AccessDenied { lpn, tee });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// TRIM: `requestor` declares `lpn` dead. The mapping entry is

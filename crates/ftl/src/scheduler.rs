@@ -130,6 +130,11 @@ impl ChannelScheduler {
     /// Drains every queue round-robin: one item per non-empty channel
     /// per sweep, alternating reads and programs within a channel, FIFO
     /// within a queue.
+    ///
+    /// Starvation bound (regression-tested): within a channel, item
+    /// `i` of either queue issues within the channel's first
+    /// `2 * i + 2` pops, no matter how long the other queue's run is —
+    /// a long read run cannot starve queued programs, nor vice versa.
     pub fn issue_order_mixed(&mut self) -> Vec<ScheduledItem> {
         let mut order = Vec::with_capacity(self.len());
         loop {
@@ -246,5 +251,93 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn zero_channels_panics() {
         let _ = ChannelScheduler::new(0);
+    }
+
+    /// The starvation edge: a channel whose only programs sit behind a
+    /// long run of queued reads. The per-pop alternation must bound
+    /// every program's issue position — program `i` of a channel
+    /// issues within the channel's first `2 * i + 2` pops, no matter
+    /// how long the read run is.
+    #[test]
+    fn programs_behind_a_long_read_run_are_not_starved() {
+        let mut s = ChannelScheduler::new(1);
+        for read in 0..16 {
+            s.enqueue(0, read);
+        }
+        s.enqueue_program(0, 100);
+        s.enqueue_program(0, 101);
+        let order = s.issue_order_mixed();
+        let pos_of = |idx: usize| order.iter().position(|i| i.index == idx).unwrap();
+        assert_eq!(pos_of(100), 1, "first program issues right after one read");
+        assert_eq!(pos_of(101), 3, "second program two pops later");
+        // The read run still drains FIFO afterward.
+        let reads: Vec<usize> = order
+            .iter()
+            .filter(|i| i.op == QueuedOp::Read)
+            .map(|i| i.index)
+            .collect();
+        assert_eq!(reads, (0..16).collect::<Vec<_>>());
+    }
+
+    /// The mirrored edge: reads queued behind a long program run.
+    #[test]
+    fn reads_behind_a_long_program_run_are_not_starved() {
+        let mut s = ChannelScheduler::new(1);
+        for program in 0..16 {
+            s.enqueue_program(0, 100 + program);
+        }
+        s.enqueue(0, 0);
+        s.enqueue(0, 1);
+        let order = s.issue_order_mixed();
+        let pos_of = |idx: usize| order.iter().position(|i| i.index == idx).unwrap();
+        // The channel starts on its read queue, so read 0 leads and
+        // read 1 issues after exactly one intervening program.
+        assert_eq!(pos_of(0), 0);
+        assert_eq!(pos_of(1), 2);
+    }
+
+    /// Fairness bound across both queues of one channel under any mix:
+    /// item `i` of either queue issues within the channel's first
+    /// `2 * i + 2` pops (one sweep serves one item per channel, so the
+    /// other queue can delay it by at most one pop per own item).
+    #[test]
+    fn alternation_bounds_queue_delay_for_any_mix() {
+        for (reads, programs) in [(1usize, 9usize), (9, 1), (5, 5), (12, 3), (0, 7), (7, 0)] {
+            let mut s = ChannelScheduler::new(1);
+            for i in 0..reads {
+                s.enqueue(0, i);
+            }
+            for i in 0..programs {
+                s.enqueue_program(0, 1000 + i);
+            }
+            let order = s.issue_order_mixed();
+            assert_eq!(order.len(), reads + programs);
+            for (queue_pos, item) in order
+                .iter()
+                .filter(|i| i.op == QueuedOp::Read)
+                .enumerate()
+                .map(|(p, i)| (p, i.index))
+            {
+                let issue_pos = order.iter().position(|i| i.index == item).unwrap();
+                assert!(
+                    issue_pos <= 2 * queue_pos + 1,
+                    "read {item} at queue position {queue_pos} issued at {issue_pos} \
+                     ({reads} reads / {programs} programs)"
+                );
+            }
+            for (queue_pos, item) in order
+                .iter()
+                .filter(|i| i.op == QueuedOp::Program)
+                .enumerate()
+                .map(|(p, i)| (p, i.index))
+            {
+                let issue_pos = order.iter().position(|i| i.index == item).unwrap();
+                assert!(
+                    issue_pos <= 2 * queue_pos + 2,
+                    "program {item} at queue position {queue_pos} issued at {issue_pos} \
+                     ({reads} reads / {programs} programs)"
+                );
+            }
+        }
     }
 }

@@ -13,7 +13,9 @@
 //!   without a full event-driven core model.
 //! * [`EventQueue`] — a deterministic time-ordered queue used for
 //!   background activities (garbage collection, wear leveling) and for
-//!   interleaving multiple tenants.
+//!   interleaving multiple tenants. [`KeyedEventQueue`] is the variant
+//!   with a caller-supplied same-tick order, and [`EventClock`] the
+//!   monotone clock, both backing the `iceclave_exec` batch executor.
 //!
 //! [`stats`] adds the counters and histograms used to report every table
 //! and figure, and [`rng`] provides deterministically seeded random
@@ -36,13 +38,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod event;
 pub mod pipeline;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
-pub use event::EventQueue;
+pub use clock::EventClock;
+pub use event::{EventQueue, KeyedEventQueue};
 pub use pipeline::Pipeline;
 pub use resource::{Resource, ResourcePool, ServiceSpan};
 pub use rng::SimRng;

@@ -33,6 +33,7 @@ pub mod freq;
 pub mod request;
 pub mod size;
 pub mod tee;
+pub mod ticket;
 pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
@@ -43,6 +44,7 @@ pub use request::{
 };
 pub use size::ByteSize;
 pub use tee::{TeeId, TeeIdError};
+pub use ticket::{CompletionEvent, LatencyBreakdown, PageStatus, Ticket, TicketKind};
 pub use time::{SimDuration, SimTime};
 
 /// Size of one flash page and one DRAM page in bytes (4 KiB), as configured

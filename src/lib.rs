@@ -11,7 +11,7 @@
 //! * Substrates: [`iceclave_flash`], [`iceclave_ftl`], [`iceclave_dram`],
 //!   [`iceclave_mee`], [`iceclave_cipher`], [`iceclave_trustzone`],
 //!   [`iceclave_cpu`], [`iceclave_isc`], [`iceclave_sim`],
-//!   [`iceclave_types`].
+//!   [`iceclave_exec`], [`iceclave_types`].
 //!
 //! # Architecture: the request pipeline
 //!
@@ -92,11 +92,70 @@
 //! channel-scaling acceptance criteria. `Ftl::flush_cmt` drains dirty
 //! translation pages through the same steered program path, so
 //! shutdown latency also scales with channels.
+//!
+//! # Architecture: the event-driven batch executor
+//!
+//! Both pipelines above are driven by a deterministic discrete-event
+//! executor ([`iceclave_exec`]) so that batches from **multiple TEEs
+//! interleave at stage granularity** instead of call granularity:
+//! every contended unit (per-channel flash bus and dies, per-lane
+//! cipher engines, the MEE/DRAM datapath, the secure monitor) is a
+//! resource timeline, and each *stage event* acquires exactly one
+//! stage for one page at the simulated time it becomes ready. While
+//! TEE A's pages occupy channels 0–3, TEE B's batch streams through
+//! channels 4–15 and the decrypt lanes concurrently.
+//!
+//! ```text
+//!  submit_batch_async(tee, lpns, now) ──────────────► Ticket
+//!      │ translate + ID-bit check at submission (atomic, §4.5;
+//!      │ denial throws the TEE out before any flash traffic),
+//!      │ input-ring slots + plaintext snapshot taken here
+//!      ▼ one FlashRead event per page, chained FIFO per channel
+//!  [event heap: (time, ticket, page) order] ◄── other tickets'
+//!      │                                        events interleave
+//!      ▼
+//!  FlashRead ──► Decrypt (lane) ──► Fill (MEE) ──► CompletionQueue
+//!
+//!  submit_write_batch_async(tee, writes, now) ──────► Ticket
+//!      │ ownership check at submission (atomic), MEE seal drain
+//!      ▼ one Encrypt event per page at its seal read-out
+//!  Encrypt (lane) ──► Program (ONE event per batch: the single
+//!      │              secure-world entry of Ftl::write_batch, fired
+//!      │              when the last ciphertext exists)
+//!      ▼
+//!  per-page durable completions ──► CompletionQueue
+//!
+//!  poll_completions(now)   drains ready events in the documented
+//!                          (ready, ticket id, page index) order
+//!  wait_batch(ticket)      blocking wrappers = submit + drain one
+//!                          ticket (submit_batch/submit_write_batch
+//!                          are exactly this)
+//! ```
+//!
+//! **Ticket lifecycle.** `submit_*_async` runs the atomic access
+//! check and returns a [`iceclave_types::Ticket`]; the batch then
+//! advances only as the executor processes events —
+//! `poll_completions(now)` advances the event clock to `now` and
+//! drains every [`iceclave_types::CompletionEvent`] (per-page status
+//! plus [`iceclave_types::LatencyBreakdown`]) that became ready;
+//! `wait_batch`/`wait_write_batch` run the heap until one ticket
+//! closes. Completions at the same simulated tick drain in the
+//! documented *(ticket id, page index)* order — regression-tested, so
+//! identical runs produce identical completion sequences. Tickets in flight together
+//! have **no ordering guarantees between each other** (translation,
+//! access control and content snapshot at submission, like commands
+//! in a device queue); drain a ticket before submitting work that
+//! depends on it. `tests/exec_interleaving.rs` holds the acceptance
+//! criteria (two concurrent 32-page batches on 16 channels beat
+//! back-to-back blocking while staying byte-identical) and
+//! `tests/exec_equivalence.rs` the interleaving/sequential
+//! equivalence proptest.
 
 pub use iceclave_cipher;
 pub use iceclave_core;
 pub use iceclave_cpu;
 pub use iceclave_dram;
+pub use iceclave_exec;
 pub use iceclave_experiments;
 pub use iceclave_flash;
 pub use iceclave_ftl;
