@@ -1,0 +1,143 @@
+//! Cross-tenant fairness sweep: a 2-tenant antagonist duel through the
+//! weighted-fair-queueing channel arbiter (Figures 17/18 machinery).
+//!
+//! One tenant (the *antagonist*) keeps {1, 2, 4, 8} 32-page read
+//! tickets in flight; the other (the *victim*) cycles solo 4-page
+//! tickets — the latency-sensitive pattern the WFQ scheduler protects.
+//! Every sweep point runs under both `SchedPolicy::Fifo` (the legacy
+//! event-order scheduler) and `SchedPolicy::Wfq`, and reports:
+//!
+//! * the victim's p99 per-ticket latency under each policy (the
+//!   acceptance criterion: ≥ 2x improvement at the 8-ticket point);
+//! * Jain's fairness index over per-tenant channel time, measured with
+//!   both tenants backlogged (the victim keeps four 4-page tickets in
+//!   flight so every channel sees both claimants; see
+//!   `iceclave_experiments::fairness::jain` for the formula) — 1.0 is
+//!   a perfect split, the acceptance floor is 0.95 under WFQ.
+//!
+//! The duel driver itself lives in `iceclave_experiments::fairness`,
+//! shared with the acceptance tests in `tests/wfq_fairness.rs` so the
+//! benchmark baseline and the tested protocol cannot diverge. The
+//! simulated numbers are printed once and emitted as a
+//! `BENCH_fairness.json` baseline (uploaded as a CI artifact beside
+//! `BENCH_writes.json` and `BENCH_exec.json`). Override the output
+//! path with the `BENCH_FAIRNESS_JSON` environment variable. Criterion
+//! times the WFQ duel's submit+poll loop as a smoke check.
+
+use std::io::Write as _;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use iceclave_core::SchedPolicy;
+use iceclave_experiments::fairness::{
+    jain, p99, run_duel, ANTAGONIST_TICKET_PAGES, VICTIM_TICKET_PAGES,
+};
+
+const CHANNELS: u32 = 8;
+const ANTAGONIST_IN_FLIGHT: [usize; 4] = [1, 2, 4, 8];
+const VICTIM_TICKETS: usize = 40;
+const BACKLOG_TICKETS: usize = 150;
+
+struct SweepPoint {
+    in_flight: usize,
+    p99_fifo: u64,
+    p99_wfq: u64,
+    jain_fifo: f64,
+    jain_wfq: f64,
+}
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairness");
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for &in_flight in &ANTAGONIST_IN_FLIGHT {
+        // Latency mode: strictly solo victim (one ticket at a time).
+        let fifo = run_duel(SchedPolicy::Fifo, CHANNELS, in_flight, 1, VICTIM_TICKETS);
+        let wfq = run_duel(SchedPolicy::Wfq, CHANNELS, in_flight, 1, VICTIM_TICKETS);
+        // Fairness mode: both tenants backlogged (the victim's four
+        // 4-page tickets cover all 8 channels).
+        let fifo_backlog = run_duel(SchedPolicy::Fifo, CHANNELS, in_flight, 4, BACKLOG_TICKETS);
+        let wfq_backlog = run_duel(SchedPolicy::Wfq, CHANNELS, in_flight, 4, BACKLOG_TICKETS);
+        let point = SweepPoint {
+            in_flight,
+            p99_fifo: p99(&fifo.victim_latencies).as_nanos(),
+            p99_wfq: p99(&wfq.victim_latencies).as_nanos(),
+            jain_fifo: jain(fifo_backlog.victim_pages, fifo_backlog.antagonist_pages),
+            jain_wfq: jain(wfq_backlog.victim_pages, wfq_backlog.antagonist_pages),
+        };
+        println!(
+            "fairness antagonist x{in_flight}: victim p99 fifo {} ns / wfq {} ns ({:.2}x), \
+             jain fifo {:.3} / wfq {:.3}",
+            point.p99_fifo,
+            point.p99_wfq,
+            point.p99_fifo as f64 / point.p99_wfq as f64,
+            point.jain_fifo,
+            point.jain_wfq,
+        );
+        sweep.push(point);
+    }
+
+    // Criterion smoke: time the deepest WFQ duel's submit+poll loop.
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("wfq_duel_8x32_vs_solo4", 8), &8, |b, _| {
+        b.iter(|| {
+            run_duel(SchedPolicy::Wfq, CHANNELS, 8, 1, 8)
+                .victim_latencies
+                .len()
+        })
+    });
+    group.finish();
+    write_baseline(&sweep);
+
+    // The acceptance floor of the antagonist sweep's deepest point.
+    let deepest = sweep.last().expect("sweep is non-empty");
+    assert!(
+        deepest.p99_wfq * 2 <= deepest.p99_fifo,
+        "victim p99 under WFQ ({} ns) must beat FIFO ({} ns) by 2x",
+        deepest.p99_wfq,
+        deepest.p99_fifo,
+    );
+    assert!(
+        deepest.jain_wfq >= 0.95,
+        "Jain index under WFQ ({:.3}) must be >= 0.95",
+        deepest.jain_wfq,
+    );
+}
+
+/// Writes the fairness baseline as JSON (no serde in the offline
+/// workspace; the format is flat enough to emit by hand).
+fn write_baseline(sweep: &[SweepPoint]) {
+    let path =
+        std::env::var("BENCH_FAIRNESS_JSON").unwrap_or_else(|_| "BENCH_fairness.json".to_string());
+    let entries: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"{}\": {{ \"victim_p99_ns_fifo\": {}, \"victim_p99_ns_wfq\": {}, \
+                 \"p99_improvement\": {:.2}, \"jain_channel_time_fifo\": {:.3}, \
+                 \"jain_channel_time_wfq\": {:.3} }}",
+                p.in_flight,
+                p.p99_fifo,
+                p.p99_wfq,
+                p.p99_fifo as f64 / p.p99_wfq as f64,
+                p.jain_fifo,
+                p.jain_wfq,
+            )
+        })
+        .collect();
+    let deepest = sweep.last().expect("sweep is non-empty");
+    let json = format!(
+        "{{\n  \"channels\": {CHANNELS},\n  \"antagonist_batch_pages\": \
+         {ANTAGONIST_TICKET_PAGES},\n  \"victim_ticket_pages\": {VICTIM_TICKET_PAGES},\n  \
+         \"victim_tickets\": {VICTIM_TICKETS},\n  \"by_antagonist_in_flight\": {{\n{}\n  }},\n  \
+         \"acceptance\": {{ \"p99_improvement_at_8\": {:.2}, \"jain_wfq_at_8\": {:.3} }}\n}}\n",
+        entries.join(",\n"),
+        deepest.p99_fifo as f64 / deepest.p99_wfq as f64,
+        deepest.jain_wfq,
+    );
+    let mut file = std::fs::File::create(&path).expect("create fairness baseline");
+    file.write_all(json.as_bytes()).expect("write baseline");
+    println!("fairness baseline written to {path}");
+}
+
+criterion_group!(benches, bench_fairness);
+criterion_main!(benches);

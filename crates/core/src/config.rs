@@ -1,8 +1,55 @@
 //! IceClave runtime configuration.
 
+use iceclave_ftl::SchedPolicy;
 use iceclave_isc::IscConfig;
 use iceclave_mee::MeeConfig;
 use iceclave_types::{ByteSize, Hertz, SimDuration};
+
+/// Cross-tenant channel-scheduling configuration (§6.8, Figures
+/// 17/18).
+///
+/// The runtime arbitrates the flash channels across TEEs with weighted
+/// fair queueing ([`iceclave_ftl::WfqArbiter`]): per-channel
+/// start-time fair queueing over page-sized quanta, preemption points
+/// at page boundaries. This struct selects the policy, seeds the
+/// per-tenant weights, and optionally caps how many pages one tenant
+/// may keep queued per channel.
+#[derive(Clone, Debug)]
+pub struct FairnessConfig {
+    /// The arbitration policy. [`SchedPolicy::Wfq`] (the default)
+    /// enforces weighted fairness across tenants;
+    /// [`SchedPolicy::Fifo`] reproduces the legacy event-order
+    /// scheduling bit for bit (useful as the antagonist baseline in
+    /// the fairness benches).
+    pub policy: SchedPolicy,
+    /// Weight for tenants without an explicit entry in `weights`.
+    /// Must be positive.
+    pub default_weight: u32,
+    /// Per-tenant weights as `(raw TEE id, weight)` pairs, applied at
+    /// startup. TEE ids are handed out LIFO from 1, so the first
+    /// offloaded program gets id 1, the second id 2, and so on;
+    /// [`crate::IceClave::set_tee_weight`] adjusts weights at runtime.
+    pub weights: Vec<(u16, u32)>,
+    /// Optional cap on the pages one tenant may keep *queued* per
+    /// channel. A read submission that would exceed the cap fails with
+    /// [`crate::IceClaveError::ChannelBudgetExceeded`] instead of
+    /// deepening the queue — admission control that bounds the
+    /// head-of-line debt any tenant can build up. `None` (the
+    /// default) leaves queue depth unbounded; the WFQ policy alone
+    /// already bounds the *service* share.
+    pub channel_budget: Option<u32>,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            policy: SchedPolicy::Wfq,
+            default_weight: 1,
+            weights: Vec::new(),
+            channel_budget: None,
+        }
+    }
+}
 
 /// Everything the IceClave runtime needs to know: platform, security
 /// engines, and the measured lifecycle costs of Table 5.
@@ -33,6 +80,9 @@ pub struct IceClaveConfig {
     /// Largest offloaded binary accepted (popular in-storage programs
     /// are 28–528 KiB, §4.5).
     pub max_code_size: ByteSize,
+    /// Cross-tenant channel arbitration (weighted fair queueing by
+    /// default).
+    pub fairness: FairnessConfig,
 }
 
 impl IceClaveConfig {
@@ -48,6 +98,7 @@ impl IceClaveConfig {
             tee_region: ByteSize::from_mib(16),
             secure_region: ByteSize::from_mib(64),
             max_code_size: ByteSize::from_mib(1),
+            fairness: FairnessConfig::default(),
         }
     }
 

@@ -34,7 +34,7 @@ use std::collections::HashMap;
 
 use iceclave_cipher::{CipherEngine, PageIv};
 use iceclave_exec::{Executor, StageEvent, StageMachine};
-use iceclave_ftl::{FtlError, Requestor};
+use iceclave_ftl::{FtlError, Requestor, SchedPolicy, WfqArbiter};
 use iceclave_isc::SsdPlatform;
 use iceclave_mee::{MeeEngine, PageClass, PageSeal, SealSpan};
 use iceclave_sim::Pipeline;
@@ -126,6 +126,30 @@ pub(crate) struct StageCtx<'a> {
     pub stats: &'a mut RuntimeStats,
     pub jobs: &'a mut HashMap<u64, Job>,
     pub failed: &'a mut HashMap<u64, IceClaveError>,
+    pub arbiter: &'a mut WfqArbiter,
+}
+
+/// Grants `channel`'s next queued page (if the channel is free and any
+/// tenant lane is backlogged) and schedules its flash-read stage no
+/// earlier than `floor` — the page-boundary preemption point: under
+/// WFQ the next grant is decided only when the previous page's flash
+/// service ends, so a deep in-flight ticket yields the channel between
+/// pages.
+fn kick_channel(
+    arbiter: &mut WfqArbiter,
+    exec: &mut Executor<Stage>,
+    channel: usize,
+    floor: SimTime,
+) {
+    if let Some(grant) = arbiter.try_issue(channel) {
+        exec.schedule_weighted(
+            grant.ready.max(floor),
+            grant.vstart,
+            grant.ticket,
+            grant.page,
+            Stage::FlashRead,
+        );
+    }
 }
 
 /// Deciphers the functional content of a page, if any was stored.
@@ -253,6 +277,18 @@ impl StageCtx<'_> {
         self.stats.pages_stored += job.pages.len() as u64;
         exec.note_finished(ev.ticket, outcome.finished);
 
+        // Fairness accounting: `Ftl::write_batch` booked the channel
+        // programs itself, so debit each written page against the
+        // tenant's lane — a write-heavy tenant's subsequent reads pay
+        // for the channel time its programs consumed.
+        if self.config.fairness.policy == SchedPolicy::Wfq {
+            let geometry = self.platform.ftl.flash().config().geometry;
+            for out in &outcome.pages {
+                let channel = geometry.unpack(out.ppn).channel as usize;
+                self.arbiter.charge(channel, job.tee, 1);
+            }
+        }
+
         // Durable = program done AND seal metadata (counter + MAC)
         // drained; the metadata work overlapped the channel programs.
         let mut closed = false;
@@ -288,6 +324,14 @@ impl StageMachine for StageCtx<'_> {
             return;
         }
         let Some(job) = self.jobs.get_mut(&ev.ticket.raw()) else {
+            // A cancelled ticket's stage events are no-ops — but a
+            // granted flash read still holds its channel in the WFQ
+            // arbiter; free it so the next tenant's grant can issue.
+            if ev.stage == Stage::FlashRead {
+                if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
+                    kick_channel(self.arbiter, exec, channel, ev.at);
+                }
+            }
             return;
         };
         let idx = ev.page as usize;
@@ -334,11 +378,29 @@ impl StageMachine for StageCtx<'_> {
                             page.breakdown.cipher_done = span.end;
                             exec.schedule(span.end, ev.ticket, ev.page, Stage::Fill);
                         }
+                        // WFQ preemption point: this page's flash
+                        // service ends at span.end — only now does the
+                        // arbiter decide which tenant's page gets the
+                        // channel next. If GC relocated the page since
+                        // the grant, the granted channel never carried
+                        // this transfer: free it immediately instead
+                        // of idling it until the foreign span ends.
+                        if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
+                            let floor = if job.pages[idx].lane == channel {
+                                span.end
+                            } else {
+                                ev.at
+                            };
+                            kick_channel(self.arbiter, exec, channel, floor);
+                        }
                     }
                     // A stale mapping is an internal invariant
                     // violation; surface it as a failed page rather
                     // than a panic.
                     Err(e) => {
+                        if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
+                            kick_channel(self.arbiter, exec, channel, ev.at);
+                        }
                         self.fail_page(exec, ev.ticket, ev.page, ev.at, FtlError::from(e).into())
                     }
                 }
@@ -393,9 +455,16 @@ impl StageMachine for StageCtx<'_> {
                 job.pending_encrypts -= 1;
                 if job.pending_encrypts == 0 {
                     // Last ciphertext exists: fire the batch's single
-                    // program phase.
+                    // program phase. Under WFQ the event carries the
+                    // tenant's virtual tag, so same-tick program
+                    // phases of different tenants dequeue in
+                    // virtual-time order rather than submission order.
                     let at = job.encrypted.iter().copied().fold(ev.at, SimTime::max);
-                    exec.schedule(at, ev.ticket, 0, Stage::Program);
+                    let vtime = match self.config.fairness.policy {
+                        SchedPolicy::Fifo => 0,
+                        SchedPolicy::Wfq => self.arbiter.program_tag(job.tee),
+                    };
+                    exec.schedule_weighted(at, vtime, ev.ticket, 0, Stage::Program);
                 }
             }
             Stage::Program => unreachable!("handled before the per-page dispatch"),
@@ -417,6 +486,7 @@ impl IceClave {
             stats: &mut self.stats,
             jobs: &mut self.jobs,
             failed: &mut self.failed,
+            arbiter: &mut self.arbiter,
         };
         f(&mut self.exec, &mut ctx)
     }
@@ -428,6 +498,29 @@ impl IceClave {
     /// # Errors
     ///
     /// As [`IceClave::submit_batch_async_as`].
+    ///
+    /// # Examples
+    ///
+    /// Submit a read batch without blocking, then drain its pages from
+    /// the completion queue:
+    ///
+    /// ```
+    /// use iceclave_core::{IceClave, IceClaveConfig};
+    /// use iceclave_types::{Lpn, PageStatus, SimTime};
+    ///
+    /// let mut ice = IceClave::new(IceClaveConfig::tiny());
+    /// let t = ice.populate(Lpn::new(0), 8, SimTime::ZERO)?;
+    /// let lpns: Vec<Lpn> = (0..8).map(Lpn::new).collect();
+    /// let (tee, t) = ice.offload_code(64 * 1024, &lpns, t)?;
+    ///
+    /// let ticket = ice.submit_batch_async(tee, &lpns, t)?;
+    /// assert_eq!(ice.in_flight_tickets(), 1);
+    /// let events = ice.drain_completions();
+    /// assert_eq!(events.len(), 8);
+    /// assert!(events.iter().all(|e| e.ticket == ticket));
+    /// assert!(events.iter().all(|e| e.status == PageStatus::Done));
+    /// # Ok::<(), iceclave_core::IceClaveError>(())
+    /// ```
     pub fn submit_batch_async(
         &mut self,
         tee: TeeId,
@@ -483,13 +576,34 @@ impl IceClave {
             }
             Err(e) => return Err(e.into()),
         };
+        let geometry = self.platform.ftl.flash().config().geometry;
+
+        // Admission control: a configured per-tenant channel budget
+        // bounds how many pages one TEE may keep queued per channel.
+        // Checked before any ring slot, ticket or queue state changes;
+        // the translation timing above has already been charged.
+        if self.config.fairness.policy == SchedPolicy::Wfq {
+            if let Some(budget) = self.config.fairness.channel_budget {
+                let mut counts = vec![0u32; geometry.channels as usize];
+                for translation in &translations {
+                    counts[geometry.unpack(translation.ppn).channel as usize] += 1;
+                }
+                for (channel, &count) in counts.iter().enumerate() {
+                    if count > 0 && self.arbiter.queued(channel, tee) as u32 + count > budget {
+                        return Err(IceClaveError::ChannelBudgetExceeded {
+                            tee,
+                            channel: channel as u32,
+                        });
+                    }
+                }
+            }
+        }
 
         // Input-ring slots are assigned in request order at submission,
         // so the ring semantics match N sequential reads exactly. The
         // functional content is snapshotted here too — consistent with
         // the translation snapshot, and immune to a concurrent
         // ticket's GC relocating the physical page mid-flight.
-        let geometry = self.platform.ftl.flash().config().geometry;
         let snapshots: Vec<Option<Vec<u8>>> = translations
             .iter()
             .zip(lpns)
@@ -528,30 +642,63 @@ impl IceClave {
             })
             .collect();
 
-        // Per-channel FIFO chains in request order (the queue
-        // discipline of `Ftl::read_batch`): only each channel's head
-        // is scheduled now; successors issue as their predecessors do.
-        let channels = geometry.channels as usize;
-        let mut head: Vec<Option<u32>> = vec![None; channels];
-        let mut prev_in_channel: Vec<Option<u32>> = vec![None; channels];
-        for index in 0..pages.len() {
-            let channel = pages[index].lane;
-            match prev_in_channel[channel] {
-                Some(prev) => pages[prev as usize].next_same_channel = Some(index as u32),
-                None => head[channel] = Some(index as u32),
-            }
-            prev_in_channel[channel] = Some(index as u32);
-        }
-
         // Logical-read accounting happens at submission; the flash
         // stages run later, page by page.
         self.platform.ftl.record_logical_reads(lpns.len() as u64);
         let ticket = self
             .exec
             .open_ticket(TicketKind::Read, lpns.len() as u32, now);
-        for &index in head.iter().flatten() {
-            let ready = pages[index as usize].breakdown.prepared;
-            self.exec.schedule(ready, ticket, index, Stage::FlashRead);
+        let channels = geometry.channels as usize;
+        match self.config.fairness.policy {
+            SchedPolicy::Fifo => {
+                // Per-channel FIFO chains in request order (the queue
+                // discipline of `Ftl::read_batch`): only each channel's
+                // head is scheduled now; successors issue as their
+                // predecessors do.
+                let mut head: Vec<Option<u32>> = vec![None; channels];
+                let mut prev_in_channel: Vec<Option<u32>> = vec![None; channels];
+                for index in 0..pages.len() {
+                    let channel = pages[index].lane;
+                    match prev_in_channel[channel] {
+                        Some(prev) => pages[prev as usize].next_same_channel = Some(index as u32),
+                        None => head[channel] = Some(index as u32),
+                    }
+                    prev_in_channel[channel] = Some(index as u32);
+                }
+                for &index in head.iter().flatten() {
+                    let ready = pages[index as usize].breakdown.prepared;
+                    self.exec.schedule(ready, ticket, index, Stage::FlashRead);
+                }
+            }
+            SchedPolicy::Wfq => {
+                // Every page enters its channel's per-tenant WFQ lane
+                // under its *chain-effective* ready time — a page may
+                // not overtake its own ticket's earlier pages on the
+                // same channel, the `Ftl::read_batch` queue discipline
+                // the FIFO chains encode. The arbiter then grants one
+                // page per channel at a time in virtual-time order, so
+                // a lone tenant replays the FIFO schedule exactly
+                // while contending tenants split each channel by
+                // weight.
+                let mut chain_ready: Vec<Option<SimTime>> = vec![None; channels];
+                let mut touched: Vec<bool> = vec![false; channels];
+                for (index, page) in pages.iter().enumerate() {
+                    let channel = page.lane;
+                    let ready = match chain_ready[channel] {
+                        Some(prev) => page.breakdown.prepared.max(prev),
+                        None => page.breakdown.prepared,
+                    };
+                    chain_ready[channel] = Some(ready);
+                    touched[channel] = true;
+                    self.arbiter
+                        .enqueue(channel, tee, ticket, index as u32, ready);
+                }
+                for (channel, &touched) in touched.iter().enumerate() {
+                    if touched {
+                        kick_channel(&mut self.arbiter, &mut self.exec, channel, now);
+                    }
+                }
+            }
         }
         self.jobs.insert(
             ticket.raw(),
@@ -677,10 +824,16 @@ impl IceClave {
             (vec![now; writes.len()], writes.len())
         } else {
             // No cipher stage: the program phase fires when the last
-            // seal read-out completes.
+            // seal read-out completes (virtual-time tagged under WFQ,
+            // as in the Encrypt-gated path).
             let encrypted: Vec<SimTime> = sealed.iter().map(|s| s.data_out).collect();
             let at = encrypted.iter().copied().fold(now, SimTime::max);
-            self.exec.schedule(at, ticket, 0, Stage::Program);
+            let vtime = match self.config.fairness.policy {
+                SchedPolicy::Fifo => 0,
+                SchedPolicy::Wfq => self.arbiter.program_tag(tee),
+            };
+            self.exec
+                .schedule_weighted(at, vtime, ticket, 0, Stage::Program);
             (encrypted, 0)
         };
         self.jobs.insert(
@@ -699,9 +852,35 @@ impl IceClave {
     }
 
     /// Advances the executor to `now` and drains every completion that
-    /// became ready at or before `now`, in the documented stable order:
-    /// ascending ready time, same-tick ties by *(ticket id, page
-    /// index)*. Two identical runs drain identical sequences.
+    /// became ready at or before `now`, in the documented stable drain
+    /// order of [`iceclave_exec::completion`] (quoted by
+    /// [`iceclave_exec::DRAIN_ORDER_CONTRACT`]). Two identical runs
+    /// drain identical sequences.
+    ///
+    /// # Examples
+    ///
+    /// Poll the completion queue as simulated time advances:
+    ///
+    /// ```
+    /// use iceclave_core::{IceClave, IceClaveConfig};
+    /// use iceclave_types::{Lpn, SimDuration, SimTime};
+    ///
+    /// let mut ice = IceClave::new(IceClaveConfig::tiny());
+    /// let t = ice.populate(Lpn::new(0), 4, SimTime::ZERO)?;
+    /// let lpns: Vec<Lpn> = (0..4).map(Lpn::new).collect();
+    /// let (tee, t) = ice.offload_code(64 * 1024, &lpns, t)?;
+    /// let ticket = ice.submit_batch_async(tee, &lpns, t)?;
+    ///
+    /// // Nothing can have completed at submission time...
+    /// assert!(ice.poll_completions(t).is_empty());
+    /// // ...while ten simulated milliseconds retire every page, in
+    /// // the documented drain order.
+    /// let events = ice.poll_completions(t + SimDuration::from_millis(10));
+    /// assert_eq!(events.len(), 4);
+    /// assert!(events.iter().all(|e| e.ticket == ticket));
+    /// assert_eq!(ice.in_flight_tickets(), 0);
+    /// # Ok::<(), iceclave_core::IceClaveError>(())
+    /// ```
     pub fn poll_completions(&mut self, now: SimTime) -> Vec<CompletionEvent> {
         self.sweep_stale_errors();
         self.drive(|exec, ctx| exec.run_until(ctx, now));
@@ -765,6 +944,12 @@ impl IceClave {
         tickets.sort_unstable(); // HashMap order must not leak anywhere
         for raw in tickets {
             let ticket = Ticket::new(raw);
+            // Purge the dead ticket's queued pages from the channel
+            // arbiter; channels whose in-flight grant it held go to
+            // the next tenant immediately.
+            for channel in self.arbiter.cancel_ticket(ticket) {
+                kick_channel(&mut self.arbiter, &mut self.exec, channel, now);
+            }
             self.failed
                 .entry(raw)
                 .or_insert(IceClaveError::NotRunning(tee));

@@ -56,7 +56,8 @@ pub mod exec_driver;
 pub mod host;
 pub mod runtime;
 
-pub use config::IceClaveConfig;
+pub use config::{FairnessConfig, IceClaveConfig};
 pub use exec_driver::Stage;
 pub use host::{HostLibrary, OffloadResult, OffloadTicket};
+pub use iceclave_ftl::SchedPolicy;
 pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

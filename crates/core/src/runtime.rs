@@ -80,6 +80,17 @@ pub enum IceClaveError {
     /// `poll_completions`/`drain_completions` (mixing the two drain
     /// styles on one ticket is not supported).
     UnknownTicket(iceclave_types::Ticket),
+    /// The read submission would push the TEE past its configured
+    /// per-tenant channel budget
+    /// ([`crate::FairnessConfig::channel_budget`]): admission control
+    /// rejected the batch instead of deepening the channel queue. The
+    /// TEE stays running; resubmit after draining in-flight tickets.
+    ChannelBudgetExceeded {
+        /// The over-budget TEE.
+        tee: TeeId,
+        /// The flash channel whose queue would exceed the budget.
+        channel: u32,
+    },
 }
 
 impl fmt::Display for IceClaveError {
@@ -99,6 +110,9 @@ impl fmt::Display for IceClaveError {
             }
             IceClaveError::UnknownTicket(ticket) => {
                 write!(f, "{ticket} is unknown or already drained")
+            }
+            IceClaveError::ChannelBudgetExceeded { tee, channel } => {
+                write!(f, "{tee} exceeded its queue budget on channel {channel}")
             }
         }
     }
@@ -204,6 +218,11 @@ pub struct IceClave {
     pub(crate) jobs: HashMap<u64, crate::exec_driver::Job>,
     /// Ticket-level errors of batches that failed mid-flight.
     pub(crate) failed: HashMap<u64, IceClaveError>,
+    /// The weighted-fair-queueing channel arbiter across TEEs
+    /// (Figures 17/18): read pages queue in per-tenant lanes per
+    /// channel and are granted in virtual-time order, one page at a
+    /// time per channel.
+    pub(crate) arbiter: iceclave_ftl::WfqArbiter,
 }
 
 impl IceClave {
@@ -243,6 +262,14 @@ impl IceClave {
             .map(|slot| region_base_page + slot * region_pages)
             .collect();
 
+        let mut arbiter =
+            iceclave_ftl::WfqArbiter::new(config.platform.flash.geometry.channels as usize);
+        arbiter.set_default_weight(config.fairness.default_weight);
+        for &(raw, weight) in &config.fairness.weights {
+            let tee = TeeId::new(raw).expect("fairness weight names a valid TEE id (1..=15)");
+            arbiter.set_weight(tee, weight);
+        }
+
         IceClave {
             platform,
             mee: MeeEngine::new(config.mee),
@@ -261,7 +288,30 @@ impl IceClave {
             exec: iceclave_exec::Executor::new(),
             jobs: HashMap::new(),
             failed: HashMap::new(),
+            arbiter,
         }
+    }
+
+    /// Sets `tee`'s fair-queueing weight: while channels are
+    /// contended, a weight-2 tenant is granted twice the channel time
+    /// of a weight-1 tenant. Applies from the next grant on.
+    ///
+    /// # Errors
+    ///
+    /// The TEE must be running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn set_tee_weight(&mut self, tee: TeeId, weight: u32) -> Result<(), IceClaveError> {
+        self.ensure_running(tee)?;
+        self.arbiter.set_weight(tee, weight);
+        Ok(())
+    }
+
+    /// The fair-queueing weight `tee` is currently scheduled at.
+    pub fn tee_weight(&self, tee: TeeId) -> u32 {
+        self.arbiter.weight_of(tee)
     }
 
     /// The runtime configuration.
@@ -841,6 +891,20 @@ impl IceClave {
         // remaining pages fail immediately, so no stale stage event can
         // ever touch the recycled region or act under the recycled id.
         self.cancel_tickets_of(tee, now);
+        // The arbiter forgets the tenant's lanes so a future TEE
+        // recycling the id starts with a clean virtual clock. Weights
+        // set at runtime die with the TEE; weights named in the config
+        // are reseeded so a recycled id keeps its configured share.
+        self.arbiter.forget_tee(tee);
+        if let Some(&(_, weight)) = self
+            .config
+            .fairness
+            .weights
+            .iter()
+            .find(|&&(raw, _)| raw == u16::from(tee.raw()))
+        {
+            self.arbiter.set_weight(tee, weight);
+        }
         self.platform.ftl.clear_id_bits(&lpns);
         self.free_regions.push(region_page);
         self.free_ids.push(tee);

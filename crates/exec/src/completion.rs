@@ -1,14 +1,32 @@
 //! The completion queue of the asynchronous batch API.
+//!
+//! This module's documentation is the **single source of truth** for
+//! the drain-order contract. Other docs (`iceclave_types::ticket`, the
+//! executor, the umbrella crate) link here instead of restating the
+//! order, and the regression tests quote it verbatim through
+//! [`DRAIN_ORDER_CONTRACT`]:
+//!
+//! > Completions drain in ascending ready time; completions that
+//! > became ready at the same simulated tick drain in (ticket id,
+//! > page index) order.
 
 use iceclave_types::{CompletionEvent, SimTime, Ticket};
 
+/// The drain-order contract, verbatim from the module documentation
+/// above (a unit test asserts the two stay identical, so there is no
+/// second place to update). Regression tests quote this constant in
+/// their assertions.
+pub const DRAIN_ORDER_CONTRACT: &str = "Completions drain in ascending ready time; \
+     completions that became ready at the same simulated tick drain in \
+     (ticket id, page index) order.";
+
 /// Retired pages waiting to be drained by the submitter.
 ///
-/// Every page of every in-flight ticket lands here exactly once. The
-/// drain order is **documented and stable**: events drain in ascending
-/// ready time, and events that became ready at the same simulated tick
-/// drain in *(ticket id, page index)* order — never in the incidental
-/// order the executor's stages happened to retire them.
+/// Every page of every in-flight ticket lands here exactly once, and
+/// drains in the **documented, stable order** of the
+/// [module documentation](self) ([`DRAIN_ORDER_CONTRACT`]) — never in
+/// the incidental order the executor's stages happened to retire
+/// them.
 ///
 /// # Examples
 ///
@@ -138,6 +156,25 @@ mod tests {
         SimTime::ZERO + SimDuration::from_nanos(ns)
     }
 
+    /// The module documentation is the single source of truth for the
+    /// drain order; [`DRAIN_ORDER_CONTRACT`] must quote it verbatim so
+    /// the regression tests and the docs can never diverge.
+    #[test]
+    fn contract_constant_quotes_the_module_doc() {
+        let source = include_str!("completion.rs");
+        let doc_text: String = source
+            .lines()
+            .take_while(|line| line.starts_with("//!"))
+            .map(|line| line.trim_start_matches("//!").trim_start_matches(" >"))
+            .collect::<Vec<&str>>()
+            .join(" ");
+        let normalize = |s: &str| s.split_whitespace().collect::<Vec<&str>>().join(" ");
+        assert!(
+            normalize(&doc_text).contains(&normalize(DRAIN_ORDER_CONTRACT)),
+            "module doc no longer contains the drain-order contract verbatim:\n{DRAIN_ORDER_CONTRACT}"
+        );
+    }
+
     #[test]
     fn same_tick_drains_by_ticket_then_page_index() {
         // Regression for the documented stable order: push in reverse
@@ -148,7 +185,11 @@ mod tests {
         }
         let drained = q.drain_due(at(100));
         let order: Vec<(u64, u32)> = drained.iter().map(|e| (e.ticket.raw(), e.index)).collect();
-        assert_eq!(order, vec![(1, 0), (1, 1), (1, 2), (2, 0), (3, 0), (3, 1)]);
+        assert_eq!(
+            order,
+            vec![(1, 0), (1, 1), (1, 2), (2, 0), (3, 0), (3, 1)],
+            "violated the documented contract: {DRAIN_ORDER_CONTRACT}"
+        );
     }
 
     #[test]

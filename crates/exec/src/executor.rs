@@ -52,12 +52,17 @@ struct TicketState {
 /// a ticket table, and the [`CompletionQueue`].
 ///
 /// Determinism contract: events fire in ascending time; events due at
-/// the same simulated tick fire in *(ticket id, page index)* order.
-/// Two identical submission sequences therefore process every stage —
-/// and drain every completion — in exactly the same order.
+/// the same simulated tick fire in *(virtual time, ticket id, page
+/// index)* order. The virtual-time component carries the fair-queueing
+/// arbiter's start tags ([`Executor::schedule_weighted`]) so that
+/// contended same-tick stages dequeue in weighted-fair order across
+/// tenants; stages scheduled through [`Executor::schedule`] use
+/// virtual time 0 and keep the legacy *(ticket id, page index)* tie
+/// order. Two identical submission sequences therefore process every
+/// stage — and drain every completion — in exactly the same order.
 #[derive(Debug)]
 pub struct Executor<S> {
-    events: KeyedEventQueue<(u64, u32), (Ticket, u32, S)>,
+    events: KeyedEventQueue<(u64, u64, u32), (Ticket, u32, S)>,
     clock: EventClock,
     completions: CompletionQueue,
     next_ticket: u64,
@@ -95,10 +100,28 @@ impl<S> Executor<S> {
         ticket
     }
 
-    /// Schedules a stage event for `(ticket, page)` at `at`.
+    /// Schedules a stage event for `(ticket, page)` at `at` with
+    /// virtual time 0 (same-tick ties fall back to the documented
+    /// *(ticket id, page index)* order).
     pub fn schedule(&mut self, at: SimTime, ticket: Ticket, page: u32, stage: S) {
+        self.schedule_weighted(at, 0, ticket, page, stage);
+    }
+
+    /// Schedules a stage event for `(ticket, page)` at `at` under the
+    /// fair-queueing start tag `vtime`: events due at the same
+    /// simulated tick dequeue in ascending *(vtime, ticket id, page
+    /// index)* order, so the arbiter's virtual-time order — not the
+    /// incidental FIFO order per channel — decides who advances first.
+    pub fn schedule_weighted(
+        &mut self,
+        at: SimTime,
+        vtime: u64,
+        ticket: Ticket,
+        page: u32,
+        stage: S,
+    ) {
         self.events
-            .push(at, (ticket.raw(), page), (ticket, page, stage));
+            .push(at, (vtime, ticket.raw(), page), (ticket, page, stage));
     }
 
     /// Retires one page into the completion queue, folding its ready
@@ -245,9 +268,9 @@ impl<S> Executor<S> {
     }
 
     /// Drains every completion ready at or before `now` in the
-    /// documented *(ready, ticket id, page index)* order, retiring
-    /// fully drained tickets. Does **not** advance the event loop —
-    /// callers run [`Executor::run_until`] first.
+    /// documented drain order (see the [`crate::completion`] module
+    /// docs), retiring fully drained tickets. Does **not** advance the
+    /// event loop — callers run [`Executor::run_until`] first.
     pub fn poll(&mut self, now: SimTime) -> Vec<CompletionEvent> {
         let drained = self.completions.drain_due(now);
         self.bookkeep_drained(&drained);
@@ -371,6 +394,23 @@ mod tests {
             toy.trace,
             vec![(t1.raw(), 0, 0), (t1.raw(), 1, 0), (t2.raw(), 0, 0)]
         );
+    }
+
+    #[test]
+    fn same_tick_weighted_stages_run_in_vtime_order() {
+        let mut exec = Executor::new();
+        let mut toy = Toy {
+            hops: 1,
+            trace: Vec::new(),
+        };
+        // Ticket 2 carries a smaller virtual-time tag than ticket 1:
+        // the arbiter's order overrides the ticket-id tie-break.
+        let t1 = exec.open_ticket(TicketKind::Read, 1, at(0));
+        let t2 = exec.open_ticket(TicketKind::Read, 1, at(0));
+        exec.schedule_weighted(at(0), 20, t1, 0, 0);
+        exec.schedule_weighted(at(0), 10, t2, 0, 0);
+        exec.run_to_idle(&mut toy);
+        assert_eq!(toy.trace, vec![(t2.raw(), 0, 0), (t1.raw(), 0, 0)]);
     }
 
     #[test]

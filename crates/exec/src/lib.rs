@@ -27,11 +27,15 @@
 //! # Determinism
 //!
 //! * Stage events fire in ascending simulated time; events due at the
-//!   same tick fire in *(ticket id, page index)* order
-//!   ([`iceclave_sim::KeyedEventQueue`]).
-//! * Completions drain from the [`CompletionQueue`] in ascending ready
-//!   time, same-tick ties in *(ticket id, page index)* order — a
-//!   documented, stable contract.
+//!   same tick fire in *(virtual time, ticket id, page index)* order
+//!   ([`iceclave_sim::KeyedEventQueue`]). The virtual-time component
+//!   carries the channel arbiter's weighted-fair start tags
+//!   ([`Executor::schedule_weighted`]); plain [`Executor::schedule`]
+//!   uses virtual time 0, which degenerates to the legacy *(ticket
+//!   id, page index)* tie order.
+//! * Completions drain from the [`CompletionQueue`] in the order its
+//!   module documentation specifies (the single source of truth for
+//!   the drain-order contract, quoted by the regression tests).
 //! * Two identical submission sequences therefore produce identical
 //!   event traces and identical completion sequences.
 //!
@@ -56,5 +60,5 @@
 pub mod completion;
 pub mod executor;
 
-pub use completion::CompletionQueue;
+pub use completion::{CompletionQueue, DRAIN_ORDER_CONTRACT};
 pub use executor::{Executor, StageEvent, StageMachine};

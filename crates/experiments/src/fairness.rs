@@ -1,0 +1,196 @@
+//! Closed-loop 2-tenant antagonist duel — the shared harness behind
+//! the WFQ fairness acceptance tests (`tests/wfq_fairness.rs`) and the
+//! `fairness` bench (`BENCH_fairness.json`).
+//!
+//! One tenant (the *antagonist*) keeps a configurable number of
+//! 32-page read tickets in flight; the other (the *victim*) cycles
+//! small 4-page tickets — the latency-sensitive pattern the
+//! weighted-fair-queueing channel arbiter protects (Figures 17/18).
+//! Both tenants run closed-loop: every completed ticket is immediately
+//! resubmitted at the (quantized) completion time, so the duel is
+//! fully deterministic.
+
+use std::collections::HashMap;
+
+use iceclave_core::IceClave;
+pub use iceclave_ftl::SchedPolicy;
+use iceclave_types::{Lpn, SimDuration, SimTime};
+
+use crate::modes::{Mode, Overrides};
+
+/// Pages per antagonist ticket.
+pub const ANTAGONIST_TICKET_PAGES: u64 = 32;
+/// Pages per victim ticket.
+pub const VICTIM_TICKET_PAGES: u64 = 4;
+
+/// Outcome of one closed-loop duel run.
+#[derive(Clone, Debug)]
+pub struct DuelOutcome {
+    /// Per-ticket latency of every completed victim ticket
+    /// (submission to last page ready).
+    pub victim_latencies: Vec<SimDuration>,
+    /// Victim pages drained during the duel window.
+    pub victim_pages: u64,
+    /// Antagonist pages drained during the duel window.
+    pub antagonist_pages: u64,
+}
+
+/// Runs the duel under `policy` on a `channels`-channel device: the
+/// antagonist keeps `antagonist_in_flight` 32-page tickets in flight,
+/// the victim `victim_in_flight` 4-page tickets (1 = strictly solo),
+/// until the victim completes `victim_tickets` tickets.
+///
+/// # Panics
+///
+/// Panics if the device cannot be populated or a submission fails —
+/// the duel uses only granted pages, so any error is a harness bug.
+pub fn run_duel(
+    policy: SchedPolicy,
+    channels: u32,
+    antagonist_in_flight: usize,
+    victim_in_flight: usize,
+    victim_tickets: usize,
+) -> DuelOutcome {
+    let overrides = Overrides {
+        channels: Some(channels),
+        ..Overrides::none()
+    };
+    let mut config = Mode::IceClave.ssd_config(&overrides);
+    config.fairness.policy = policy;
+    let mut ice = IceClave::new(config);
+    let ant_range = ANTAGONIST_TICKET_PAGES * antagonist_in_flight as u64;
+    let t0 = ice
+        .populate(Lpn::new(0), ant_range + 64, SimTime::ZERO)
+        .expect("device holds the duel");
+    let ant_lpns: Vec<Lpn> = (0..ant_range).map(Lpn::new).collect();
+    let victim_lpns: Vec<Lpn> = (ant_range..ant_range + 64).map(Lpn::new).collect();
+    let (ant, _) = ice.offload_code(1024, &ant_lpns, t0).expect("antagonist");
+    let (victim, t0) = ice.offload_code(1024, &victim_lpns, t0).expect("victim");
+
+    struct InFlight {
+        is_victim: bool,
+        submitted: SimTime,
+        remaining: u64,
+        last_ready: SimTime,
+    }
+    let mut in_flight: HashMap<u64, InFlight> = HashMap::new();
+    let mut ant_cursor = 0usize;
+    let mut victim_cursor = 0usize;
+    let submit = |ice: &mut IceClave,
+                  is_victim: bool,
+                  cursor: &mut usize,
+                  at: SimTime,
+                  in_flight: &mut HashMap<u64, InFlight>| {
+        let (tee, lpns, pages) = if is_victim {
+            (victim, &victim_lpns, VICTIM_TICKET_PAGES as usize)
+        } else {
+            (ant, &ant_lpns, ANTAGONIST_TICKET_PAGES as usize)
+        };
+        let start = (*cursor * pages) % lpns.len();
+        *cursor += 1;
+        let ticket = ice
+            .submit_batch_async(tee, &lpns[start..start + pages], at)
+            .expect("granted batch");
+        in_flight.insert(
+            ticket.raw(),
+            InFlight {
+                is_victim,
+                submitted: at,
+                remaining: pages as u64,
+                last_ready: at,
+            },
+        );
+    };
+    for _ in 0..antagonist_in_flight {
+        submit(&mut ice, false, &mut ant_cursor, t0, &mut in_flight);
+    }
+    for _ in 0..victim_in_flight {
+        submit(&mut ice, true, &mut victim_cursor, t0, &mut in_flight);
+    }
+
+    let step = SimDuration::from_micros(5);
+    let mut now = t0;
+    let mut outcome = DuelOutcome {
+        victim_latencies: Vec::with_capacity(victim_tickets),
+        victim_pages: 0,
+        antagonist_pages: 0,
+    };
+    while outcome.victim_latencies.len() < victim_tickets {
+        now += step;
+        for ev in ice.poll_completions(now) {
+            let entry = in_flight.get_mut(&ev.ticket.raw()).expect("known ticket");
+            entry.remaining -= 1;
+            entry.last_ready = entry.last_ready.max(ev.ready_at());
+            if entry.is_victim {
+                outcome.victim_pages += 1;
+            } else {
+                outcome.antagonist_pages += 1;
+            }
+            if entry.remaining == 0 {
+                let closed = in_flight.remove(&ev.ticket.raw()).expect("present");
+                if closed.is_victim {
+                    outcome
+                        .victim_latencies
+                        .push(closed.last_ready.saturating_since(closed.submitted));
+                    if outcome.victim_latencies.len() < victim_tickets {
+                        submit(&mut ice, true, &mut victim_cursor, now, &mut in_flight);
+                    }
+                } else {
+                    submit(&mut ice, false, &mut ant_cursor, now, &mut in_flight);
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// The p99 of a latency sample (by sorting; the samples are small).
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn p99(latencies: &[SimDuration]) -> SimDuration {
+    assert!(!latencies.is_empty(), "p99 of an empty sample");
+    let mut sorted: Vec<SimDuration> = latencies.to_vec();
+    sorted.sort();
+    sorted[(sorted.len() * 99).div_ceil(100).min(sorted.len()) - 1]
+}
+
+/// Jain's fairness index over per-tenant channel time. With uniform
+/// 4 KiB pages each tenant's channel time is proportional to its
+/// drained page count, so `x = (victim_pages, antagonist_pages)` and
+/// `J = (Σx)² / (2·Σx²)` — 1.0 is a perfect split, 0.5 total capture.
+pub fn jain(victim_pages: u64, antagonist_pages: u64) -> f64 {
+    let (v, a) = (victim_pages as f64, antagonist_pages as f64);
+    (v + a) * (v + a) / (2.0 * (v * v + a * a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_extremes() {
+        assert!((jain(100, 100) - 1.0).abs() < 1e-12);
+        assert!((jain(0, 100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_of_small_samples_is_the_max_ish() {
+        let ns = |n: u64| SimDuration::from_nanos(n);
+        assert_eq!(p99(&[ns(5)]), ns(5));
+        let sample: Vec<SimDuration> = (1..=100).map(ns).collect();
+        assert_eq!(p99(&sample), ns(99));
+    }
+
+    /// The duel driver is deterministic: two identical runs produce
+    /// identical latency traces and page counts.
+    #[test]
+    fn duel_runs_are_deterministic() {
+        let run = || {
+            let d = run_duel(SchedPolicy::Wfq, 8, 2, 1, 5);
+            (d.victim_latencies, d.victim_pages, d.antagonist_pages)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod capacity;
 pub mod energy;
+pub mod fairness;
 pub mod figures;
 pub mod modes;
 pub mod multitenant;
@@ -32,5 +33,6 @@ pub mod run;
 
 pub use capacity::CapacityModel;
 pub use energy::{Activity, EnergyBreakdown, EnergyModel};
+pub use fairness::{jain, p99, run_duel, DuelOutcome};
 pub use modes::{Mode, Overrides};
 pub use run::{run, RunResult};

@@ -17,6 +17,12 @@
 //!   protected region; misses escalate to the secure world and flash.
 //! * [`ftl`] — the façade: translation, reads/writes with permission
 //!   checks, GC, wear leveling.
+//! * [`scheduler`] — the per-channel queue order *inside* one batch
+//!   (round-robin across channels, read/program alternation within a
+//!   channel).
+//! * [`wfq`] — weighted fair queueing *across* TEEs: per-channel
+//!   start-time fair queueing over page-sized quanta, with preemption
+//!   points at page boundaries (Figures 17/18 multi-tenancy).
 //!
 //! # Examples
 //!
@@ -46,6 +52,7 @@ pub mod cmt;
 pub mod ftl;
 pub mod mapping;
 pub mod scheduler;
+pub mod wfq;
 
 pub use cmt::{CachedMappingTable, CmtLookup};
 pub use ftl::{
@@ -54,3 +61,4 @@ pub use ftl::{
 };
 pub use mapping::{MappingEntry, MappingTable};
 pub use scheduler::{ChannelScheduler, QueuedOp, ScheduledItem};
+pub use wfq::{IssueGrant, SchedPolicy, WfqArbiter, MAX_WEIGHT};

@@ -11,6 +11,13 @@
 //! Within one queue the batch's request order is preserved (the NAND
 //! dies behind one bus serialize anyway; keeping FIFO order makes the
 //! timing reproducible and starvation-free).
+//!
+//! This scheduler orders requests *within* one batch. Fairness
+//! *across* TEEs — so one tenant's deep batches cannot starve
+//! another's — is the [`wfq`](crate::wfq) module's job: the
+//! event-driven read path queues pages in the
+//! [`WfqArbiter`](crate::WfqArbiter)'s per-tenant lanes instead of
+//! issuing whole batches at once.
 
 use std::collections::VecDeque;
 

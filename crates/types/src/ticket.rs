@@ -9,9 +9,11 @@
 //! eventually produces one [`CompletionEvent`] with a [`PageStatus`]
 //! and a per-stage [`LatencyBreakdown`].
 //!
-//! Ordering contract: completion events that become ready at the same
-//! simulated tick drain in **ticket id, then page index** order — the
-//! documented stable order the executor's completion queue enforces.
+//! Ordering contract: the single source of truth for the completion
+//! drain order is the `iceclave_exec::completion` module
+//! documentation (quoted verbatim by its `DRAIN_ORDER_CONTRACT`
+//! constant and the regression tests); this crate only carries the
+//! vocabulary the contract is phrased in.
 
 use crate::addr::Lpn;
 use crate::tee::TeeId;
@@ -20,9 +22,9 @@ use crate::time::{SimDuration, SimTime};
 /// Names one in-flight batch submitted through the asynchronous API.
 ///
 /// Tickets are allocated monotonically per runtime, so they double as
-/// the documented tie-breaker of the completion queue: at the same
-/// simulated tick, the lower ticket (then the lower page index) drains
-/// first.
+/// the completion queue's same-tick tie-breaker (see the
+/// `iceclave_exec::completion` module documentation for the exact
+/// drain-order contract).
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
 pub struct Ticket(u64);
 

@@ -4,6 +4,18 @@
 //! tests can depend on a single crate. See the individual crates for
 //! full documentation:
 //!
+//! # Documentation
+//!
+//! * `docs/ARCHITECTURE.md` (in-tree) — the crate map, the read and
+//!   write event pipelines, the weighted-fair-queueing scheduler's
+//!   invariants, and the ticket lifecycle, in one place.
+//! * The drain-order contract of the completion queue lives in the
+//!   [`iceclave_exec::completion`] module documentation — the single
+//!   source of truth, quoted by
+//!   [`iceclave_exec::DRAIN_ORDER_CONTRACT`] and the regression tests.
+//! * `ROADMAP.md` tracks the north star and open items; `CHANGES.md`
+//!   the PR-by-PR history.
+//!
 //! * [`iceclave_core`] — the IceClave TEE runtime (the paper's
 //!   contribution).
 //! * [`iceclave_experiments`] — reproductions of every table/figure.
@@ -110,23 +122,31 @@
 //!      │ translate + ID-bit check at submission (atomic, §4.5;
 //!      │ denial throws the TEE out before any flash traffic),
 //!      │ input-ring slots + plaintext snapshot taken here
-//!      ▼ one FlashRead event per page, chained FIFO per channel
-//!  [event heap: (time, ticket, page) order] ◄── other tickets'
-//!      │                                        events interleave
+//!      ▼ pages enter per-channel, per-tenant WFQ lanes
+//!  [WfqArbiter: one grant per channel at a time, virtual-time
+//!      │         order across TEEs, page-boundary preemption]
+//!      ▼
+//!  [event heap: (time, vtime, ticket, page) order] ◄── other
+//!      │                                   tickets' events interleave
 //!      ▼
 //!  FlashRead ──► Decrypt (lane) ──► Fill (MEE) ──► CompletionQueue
+//!        └── at the flash span's end the arbiter grants the
+//!            channel's next page (another tenant's, if its virtual
+//!            clock is behind)
 //!
 //!  submit_write_batch_async(tee, writes, now) ──────► Ticket
 //!      │ ownership check at submission (atomic), MEE seal drain
 //!      ▼ one Encrypt event per page at its seal read-out
 //!  Encrypt (lane) ──► Program (ONE event per batch: the single
 //!      │              secure-world entry of Ftl::write_batch, fired
-//!      │              when the last ciphertext exists)
+//!      │              when the last ciphertext exists; the arbiter
+//!      │              is charged per programmed page)
 //!      ▼
 //!  per-page durable completions ──► CompletionQueue
 //!
 //!  poll_completions(now)   drains ready events in the documented
-//!                          (ready, ticket id, page index) order
+//!                          drain order (see the
+//!                          iceclave_exec::completion module docs)
 //!  wait_batch(ticket)      blocking wrappers = submit + drain one
 //!                          ticket (submit_batch/submit_write_batch
 //!                          are exactly this)
@@ -139,17 +159,41 @@
 //! drains every [`iceclave_types::CompletionEvent`] (per-page status
 //! plus [`iceclave_types::LatencyBreakdown`]) that became ready;
 //! `wait_batch`/`wait_write_batch` run the heap until one ticket
-//! closes. Completions at the same simulated tick drain in the
-//! documented *(ticket id, page index)* order — regression-tested, so
-//! identical runs produce identical completion sequences. Tickets in flight together
-//! have **no ordering guarantees between each other** (translation,
-//! access control and content snapshot at submission, like commands
-//! in a device queue); drain a ticket before submitting work that
-//! depends on it. `tests/exec_interleaving.rs` holds the acceptance
+//! closes. Completions drain in the documented stable order (single
+//! source of truth: the [`iceclave_exec::completion`] module docs) —
+//! regression-tested, so identical runs produce identical completion
+//! sequences. Tickets in flight together have **no ordering
+//! guarantees between each other** (translation, access control and
+//! content snapshot at submission, like commands in a device queue);
+//! drain a ticket before submitting work that depends on it.
+//! `tests/exec_interleaving.rs` holds the executor acceptance
 //! criteria (two concurrent 32-page batches on 16 channels beat
 //! back-to-back blocking while staying byte-identical) and
 //! `tests/exec_equivalence.rs` the interleaving/sequential
 //! equivalence proptest.
+//!
+//! # Architecture: weighted fair queueing across TEEs
+//!
+//! The flash channels are arbitrated across tenants by
+//! [`iceclave_ftl::WfqArbiter`] (§6.8, Figures 17/18): per-channel
+//! start-time fair queueing over page-sized quanta. Each channel
+//! keeps one lane per TEE; granting a page advances the lane's
+//! virtual finish tag by `quantum / weight`, and the next grant —
+//! decided only when the granted page's flash service completes, the
+//! page-boundary preemption point — goes to the lane with the
+//! smallest start tag. A greedy tenant keeping eight 32-page tickets
+//! in flight therefore shares every contended channel page-by-page
+//! with a solo 4-page tenant instead of starving it
+//! (`tests/wfq_fairness.rs`: the victim's p99 improves ≥ 2x over the
+//! legacy FIFO scheduler, and an equal-weight duel never leaves 10%
+//! of an even split over any 10k-page window). With a single tenant
+//! the WFQ schedule is byte-identical to the FIFO executor.
+//! Configuration: [`iceclave_core::FairnessConfig`] (policy, weights,
+//! optional per-tenant channel budgets);
+//! `IceClave::set_tee_weight` adjusts weights at runtime; the
+//! `fairness` bench emits the `BENCH_fairness.json` baseline (victim
+//! p99 + Jain's index over the antagonist sweep). See
+//! `docs/ARCHITECTURE.md` for the full treatment.
 
 pub use iceclave_cipher;
 pub use iceclave_core;

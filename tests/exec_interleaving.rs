@@ -168,7 +168,12 @@ fn drain_order_is_ready_then_ticket_then_page() {
         .collect();
     let mut sorted = keys.clone();
     sorted.sort();
-    assert_eq!(keys, sorted, "documented drain order violated");
+    assert_eq!(
+        keys,
+        sorted,
+        "violated the documented contract: {}",
+        iceclave_repro::iceclave_exec::DRAIN_ORDER_CONTRACT
+    );
 }
 
 /// `poll_completions(now)` only surfaces completions that are ready,
