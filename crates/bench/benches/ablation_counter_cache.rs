@@ -1,11 +1,125 @@
-//! Regenerates the counter-cache capacity ablation (see DESIGN.md).
-//! Runs as a `harness = false` bench target so `cargo bench`
-//! reproduces the artifact.
+//! Regenerates the counter-metadata hierarchy ablation: the
+//! two-dimensional L1 (on-chip SRAM) × L2 (MAC-sealed reserved-DRAM
+//! store) sweep. Runs as a `harness = false` bench target so
+//! `cargo bench` reproduces the artifact.
+//!
+//! Emits `BENCH_counter_cache.json` (override the path with the
+//! `BENCH_COUNTER_CACHE_JSON` environment variable) with:
+//!
+//! * the scan-heavy microbench grid — steady-state mean read overhead
+//!   over a working set 4× the L1's split-counter coverage, for every
+//!   L1 {32..512} KiB × L2 {0, 2, 8, 32} MiB point;
+//! * end-to-end workload rows (TPC-H Q1 under SC-64, TPC-B hybrid) on
+//!   the smaller grid;
+//! * the acceptance figures, asserted here: at every L1 size, the
+//!   8 MiB L2 must cut the scan's mean read overhead by ≥ 1.3× vs the
+//!   SRAM-only baseline at the same L1 size.
+
+use std::io::Write as _;
+
+use iceclave_experiments::ablation::{
+    scan_sweep, workload_sweep, ScanPoint, WorkloadPoint, L2_SWEEP_MIB, WORKING_SET_FACTOR,
+};
 
 fn main() {
     iceclave_bench::banner("ablation_counter_cache");
+    let scan = scan_sweep();
+    let workloads = workload_sweep(&iceclave_bench::bench_config());
     println!(
         "{}",
-        iceclave_experiments::figures::ablation_counter_cache(&iceclave_bench::bench_config())
+        iceclave_experiments::figures::ablation_report(&scan, &workloads)
     );
+    write_baseline(&scan, &workloads);
+
+    // Acceptance: the 8 MiB L2 vs SRAM-only, same L1, working set at
+    // 4x the L1's coverage.
+    for chunk in scan.chunks(L2_SWEEP_MIB.len()) {
+        let off = chunk
+            .iter()
+            .find(|p| p.l2.as_bytes() == 0)
+            .expect("sweep includes the SRAM-only baseline");
+        let l2_8m = chunk
+            .iter()
+            .find(|p| p.l2.as_bytes() == 8 << 20)
+            .expect("sweep includes the 8 MiB point");
+        let ratio = off.mean_read_overhead.as_nanos_f64() / l2_8m.mean_read_overhead.as_nanos_f64();
+        assert!(
+            ratio >= 1.3,
+            "at L1 {} (working set {} pages = {}x coverage), the 8 MiB L2 \
+             must cut mean read overhead 1.3x; got {ratio:.2} ({} vs {})",
+            off.l1,
+            off.working_set_pages,
+            WORKING_SET_FACTOR,
+            off.mean_read_overhead,
+            l2_8m.mean_read_overhead,
+        );
+    }
+    println!("acceptance: 8 MiB L2 beats SRAM-only by >= 1.3x at every L1 size");
+}
+
+/// Writes the sweep as JSON (no serde in the offline workspace; the
+/// format is flat enough to emit by hand).
+fn write_baseline(scan: &[ScanPoint], workloads: &[WorkloadPoint]) {
+    let path = std::env::var("BENCH_COUNTER_CACHE_JSON")
+        .unwrap_or_else(|_| "BENCH_counter_cache.json".to_string());
+    let scan_entries: Vec<String> = scan
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"l1_kib\": {}, \"l2_mib\": {}, \"working_set_pages\": {}, \
+                 \"mean_read_overhead_ns\": {:.2}, \"l1_hit_rate\": {:.4}, \
+                 \"l2_hit_rate\": {:.4} }}",
+                p.l1.as_bytes() / 1024,
+                p.l2.as_bytes() >> 20,
+                p.working_set_pages,
+                p.mean_read_overhead.as_nanos_f64(),
+                p.l1_hit_rate,
+                p.l2_hit_rate,
+            )
+        })
+        .collect();
+    let workload_entries: Vec<String> = workloads
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"workload\": \"{}\", \"mode\": \"{}\", \"l1_kib\": {}, \
+                 \"l2_mib\": {}, \"mem_time_ns\": {}, \"mean_read_overhead_ns\": {:.2}, \
+                 \"counter_hit_rate\": {:.4}, \"tree_hit_rate\": {:.4}, \
+                 \"l2_hit_rate\": {:.4} }}",
+                p.workload.label(),
+                p.mode,
+                p.l1.as_bytes() / 1024,
+                p.l2.as_bytes() >> 20,
+                p.mem_time.as_nanos(),
+                p.mean_read_overhead.as_nanos_f64(),
+                p.counter_hit_rate,
+                p.tree_hit_rate,
+                p.l2_hit_rate,
+            )
+        })
+        .collect();
+    // Acceptance summary per L1 size.
+    let acceptance: Vec<String> = scan
+        .chunks(L2_SWEEP_MIB.len())
+        .filter_map(|chunk| {
+            let off = chunk.iter().find(|p| p.l2.as_bytes() == 0)?;
+            let l2_8m = chunk.iter().find(|p| p.l2.as_bytes() == 8 << 20)?;
+            Some(format!(
+                "    {{ \"l1_kib\": {}, \"overhead_ratio_off_vs_8mib\": {:.2} }}",
+                off.l1.as_bytes() / 1024,
+                off.mean_read_overhead.as_nanos_f64() / l2_8m.mean_read_overhead.as_nanos_f64(),
+            ))
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"working_set_factor\": {WORKING_SET_FACTOR},\n  \"scan_sweep\": [\n{}\n  ],\n  \
+         \"workload_sweep\": [\n{}\n  ],\n  \"acceptance_min_ratio\": 1.3,\n  \
+         \"acceptance\": [\n{}\n  ]\n}}\n",
+        scan_entries.join(",\n"),
+        workload_entries.join(",\n"),
+        acceptance.join(",\n"),
+    );
+    let mut file = std::fs::File::create(&path).expect("create counter-cache baseline");
+    file.write_all(json.as_bytes()).expect("write baseline");
+    println!("counter-cache baseline written to {path}");
 }

@@ -10,9 +10,9 @@ use iceclave_cipher::{Aes128, CipherEngine, Trivium};
 use iceclave_dram::{Dram, DramConfig, MemOp};
 use iceclave_flash::FlashConfig;
 use iceclave_ftl::{Ftl, FtlConfig, Requestor};
-use iceclave_mee::{MeeConfig, MeeEngine};
+use iceclave_mee::{MeeConfig, MeeEngine, MetaCache};
 use iceclave_trustzone::WorldMonitor;
-use iceclave_types::{CacheLine, Hertz, Lpn, SimTime};
+use iceclave_types::{ByteSize, CacheLine, Hertz, Lpn, SimTime};
 
 fn bench_trivium(c: &mut Criterion) {
     let mut group = c.benchmark_group("trivium");
@@ -81,6 +81,41 @@ fn bench_mee(c: &mut Criterion) {
     group.finish();
 }
 
+/// The metadata cache is the simulator's hottest structure: every
+/// modeled memory access probes it at least once. The `hit_hot_path`
+/// case is the one the explicit LRU stamp optimized — before it, every
+/// hit paid a `remove` + `insert(0)` memmove of the set vector; now it
+/// updates one integer. `strided_sweep` exercises the mixed set
+/// indexing on the miss/eviction path.
+fn bench_meta_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_cache");
+    group.bench_function("hit_hot_path", |b| {
+        // Table 3 geometry (256 sets x 8 ways), pre-warmed with 256
+        // ids — one per set on average, so no set overflows its ways
+        // and the loop stays on the pure hit path.
+        let mut cache = MetaCache::new(ByteSize::from_kib(128), 8);
+        for block in 0..256u64 {
+            cache.access(block * 8);
+        }
+        let mut block = 0u64;
+        b.iter(|| {
+            block = (block + 1) % 256;
+            cache.access(block * 8).hit
+        })
+    });
+    group.bench_function("strided_sweep", |b| {
+        // 4x capacity, stride-8 ids: every access misses and evicts —
+        // the demotion-feed path of the two-level hierarchy.
+        let mut cache = MetaCache::new(ByteSize::from_kib(128), 8);
+        let mut block = 0u64;
+        b.iter(|| {
+            block = (block + 1) % 8192;
+            cache.access(block * 8).evicted
+        })
+    });
+    group.finish();
+}
+
 fn bench_ftl(c: &mut Criterion) {
     let mut group = c.benchmark_group("ftl");
     group.bench_function("translate_hit", |b| {
@@ -135,6 +170,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_trivium, bench_aes, bench_cipher_engine, bench_mee, bench_ftl, bench_dram
+    targets = bench_trivium, bench_aes, bench_cipher_engine, bench_mee, bench_meta_cache,
+        bench_ftl, bench_dram
 }
 criterion_main!(benches);

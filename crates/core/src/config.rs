@@ -111,8 +111,23 @@ impl IceClaveConfig {
     }
 
     /// Number of TEE region slots available in the normal region.
+    ///
+    /// The carve-outs: the secure region at the bottom of DRAM, the
+    /// cached-mapping-table arena, and — when the MEE's second-level
+    /// counter store is enabled — its reserved region at the **top** of
+    /// the protected address space (`mee.l2_capacity`; see
+    /// [`iceclave_mee::L2MetaStore`]). Subtracting it here keeps TEE
+    /// slots from ever overlapping the sealed metadata slots. An
+    /// unprotected engine never instantiates the store, so nothing is
+    /// reserved for it.
     pub fn region_slots(&self) -> u64 {
-        let reserved = self.secure_region.as_bytes() + self.platform.ftl.cmt_capacity.as_bytes();
+        let l2_reserved = if self.mee.mode == iceclave_mee::CounterMode::Unprotected {
+            0
+        } else {
+            self.mee.l2_capacity.as_bytes()
+        };
+        let reserved =
+            self.secure_region.as_bytes() + self.platform.ftl.cmt_capacity.as_bytes() + l2_reserved;
         let normal = self
             .platform
             .dram
@@ -139,6 +154,17 @@ mod tests {
     fn region_slots_fit_in_dram() {
         let c = IceClaveConfig::table3();
         // 4 GiB minus 64 MiB secure minus 16 MiB CMT, in 16 MiB slots.
+        assert_eq!(c.region_slots(), (4096 - 64 - 16) / 16);
+    }
+
+    #[test]
+    fn l2_reserved_region_shrinks_the_normal_region() {
+        let mut c = IceClaveConfig::table3();
+        c.mee = c.mee.with_l2(ByteSize::from_mib(32));
+        // The 32 MiB sealed-metadata carve-out costs two 16 MiB slots.
+        assert_eq!(c.region_slots(), (4096 - 64 - 16 - 32) / 16);
+        // An unprotected engine never creates the store: no carve-out.
+        c.mee = iceclave_mee::MeeConfig::unprotected().with_l2(ByteSize::from_mib(32));
         assert_eq!(c.region_slots(), (4096 - 64 - 16) / 16);
     }
 }

@@ -1,0 +1,207 @@
+//! Counter-metadata hierarchy ablation: the two-dimensional
+//! L1 (on-chip SRAM) × L2 (reserved-DRAM sealed store) sweep behind
+//! `BENCH_counter_cache.json`.
+//!
+//! Two instruments share the grid:
+//!
+//! * [`scan_sweep`] — a controlled scan-heavy microbench on the raw
+//!   [`MeeEngine`]: repeated passes over a working set sized at
+//!   [`WORKING_SET_FACTOR`]× the L1's split-counter coverage, i.e.
+//!   deliberately *beyond SRAM reach* (the Figure 8 collapse regime and
+//!   the TEE-KVS scan pattern). Steady-state mean read overhead is
+//!   measured from the second pass on, so compulsory misses don't
+//!   dilute the comparison. This is the acceptance instrument: at every
+//!   L1 size an 8 MiB L2 must cut the mean read overhead by ≥ 1.3×.
+//! * [`workload_sweep`] — end-to-end runs (TPC-H Q1 under conventional
+//!   SC-64 counters, TPC-B under the hybrid scheme) on a smaller grid,
+//!   showing the same trend inside the full flash + DRAM pipeline.
+
+use iceclave_dram::{Dram, DramConfig};
+use iceclave_mee::{CounterMode, MeeConfig, MeeEngine};
+use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
+use iceclave_workloads::{WorkloadConfig, WorkloadKind};
+
+use crate::modes::{Mode, Overrides};
+use crate::run::run_with_config;
+
+/// L1 (on-chip counter cache) capacities swept, in KiB.
+pub const L1_SWEEP_KIB: [u64; 5] = [32, 64, 128, 256, 512];
+
+/// L2 (reserved-DRAM store) capacities swept, in MiB; 0 disables the
+/// level (the SRAM-only baseline).
+pub const L2_SWEEP_MIB: [u64; 4] = [0, 2, 8, 32];
+
+/// The scan microbench's working set as a multiple of the L1's
+/// split-counter coverage (one counter block per page).
+pub const WORKING_SET_FACTOR: u64 = 4;
+
+/// The smaller grid the end-to-end workload rows run on.
+pub const WORKLOAD_L1_KIB: [u64; 3] = [32, 128, 512];
+/// The L2 points of the workload rows (off vs the acceptance 8 MiB).
+pub const WORKLOAD_L2_MIB: [u64; 2] = [0, 8];
+
+/// One point of the scan-heavy microbench grid.
+#[derive(Copy, Clone, Debug)]
+pub struct ScanPoint {
+    /// L1 capacity.
+    pub l1: ByteSize,
+    /// L2 capacity (zero = disabled).
+    pub l2: ByteSize,
+    /// Pages in the scanned working set (4× the L1's split coverage).
+    pub working_set_pages: u64,
+    /// Steady-state mean MEE latency added per read.
+    pub mean_read_overhead: SimDuration,
+    /// L1 hit rate over the whole run.
+    pub l1_hit_rate: f64,
+    /// L2 probe hit rate over the whole run.
+    pub l2_hit_rate: f64,
+}
+
+/// One point of the end-to-end workload grid.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkloadPoint {
+    /// The workload that ran.
+    pub workload: WorkloadKind,
+    /// The counter mode it ran under.
+    pub mode: Mode,
+    /// L1 capacity.
+    pub l1: ByteSize,
+    /// L2 capacity (zero = disabled).
+    pub l2: ByteSize,
+    /// DRAM time of the run (the quantity Figure 8 normalizes).
+    pub mem_time: SimDuration,
+    /// Mean MEE latency added per program read.
+    pub mean_read_overhead: SimDuration,
+    /// L1 hit rate on counter blocks.
+    pub counter_hit_rate: f64,
+    /// L1 hit rate on tree nodes.
+    pub tree_hit_rate: f64,
+    /// L2 probe hit rate.
+    pub l2_hit_rate: f64,
+}
+
+/// Runs one scan-microbench point: `passes` sweeps of line 0 of every
+/// page in a working set of `WORKING_SET_FACTOR × l1_blocks` pages,
+/// under conventional split counters (one block per page, the
+/// scan-heavy KVS shape). Statistics are measured from the second pass
+/// on.
+pub fn scan_probe_point(l1_kib: u64, l2_mib: u64) -> ScanPoint {
+    let l1 = ByteSize::from_kib(l1_kib);
+    let l2 = ByteSize::from_mib(l2_mib);
+    let config = MeeConfig {
+        mode: CounterMode::SplitOnly,
+        counter_cache: l1,
+        l2_capacity: l2,
+        ..MeeConfig::split_only()
+    };
+    let working_set_pages = WORKING_SET_FACTOR * l1.cache_lines();
+    let mut dram = Dram::new(DramConfig::table3());
+    let mut mee = MeeEngine::new(config);
+    let mut t = SimTime::ZERO;
+    let mut warm = None;
+    for _pass in 0..3 {
+        for p in 0..working_set_pages {
+            t = mee.read_line(&mut dram, CacheLine::new(p * LINES_PER_PAGE), t);
+        }
+        if warm.is_none() {
+            warm = Some(mee.stats().clone());
+        }
+    }
+    let warm = warm.expect("at least one pass ran");
+    let s = mee.stats();
+    ScanPoint {
+        l1,
+        l2,
+        working_set_pages,
+        mean_read_overhead: (s.read_overhead - warm.read_overhead)
+            / (s.data_reads - warm.data_reads),
+        l1_hit_rate: mee.cache_hit_rate(),
+        l2_hit_rate: s.l2_hit_rate(),
+    }
+}
+
+/// The full scan-microbench grid, L1-major.
+pub fn scan_sweep() -> Vec<ScanPoint> {
+    let mut points = Vec::new();
+    for &l1 in &L1_SWEEP_KIB {
+        for &l2 in &L2_SWEEP_MIB {
+            points.push(scan_probe_point(l1, l2));
+        }
+    }
+    points
+}
+
+/// Runs one end-to-end workload point with the hierarchy overridden.
+pub fn workload_point(
+    mode: Mode,
+    kind: WorkloadKind,
+    l1_kib: u64,
+    l2_mib: u64,
+    cfg: &WorkloadConfig,
+) -> WorkloadPoint {
+    let mut config = mode.ssd_config(&Overrides::none());
+    config.mee.counter_cache = ByteSize::from_kib(l1_kib);
+    config.mee.l2_capacity = ByteSize::from_mib(l2_mib);
+    let r = run_with_config(config, mode, kind, cfg);
+    WorkloadPoint {
+        workload: kind,
+        mode,
+        l1: ByteSize::from_kib(l1_kib),
+        l2: ByteSize::from_mib(l2_mib),
+        mem_time: r.mem_time,
+        mean_read_overhead: r.mean_read_overhead,
+        counter_hit_rate: r.counter_hit_rate,
+        tree_hit_rate: r.tree_hit_rate,
+        l2_hit_rate: r.l2_hit_rate,
+    }
+}
+
+/// The end-to-end rows: TPC-H Q1 under SC-64 (the conventional-counter
+/// scan) and TPC-B under the hybrid scheme, on the smaller grid.
+pub fn workload_sweep(cfg: &WorkloadConfig) -> Vec<WorkloadPoint> {
+    let rows = [
+        (Mode::IceClaveSc64, WorkloadKind::TpchQ1),
+        (Mode::IceClave, WorkloadKind::TpcB),
+    ];
+    let mut points = Vec::new();
+    for (mode, kind) in rows {
+        for &l1 in &WORKLOAD_L1_KIB {
+            for &l2 in &WORKLOAD_L2_MIB {
+                points.push(workload_point(mode, kind, l1, l2, cfg));
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_point_sizes_the_working_set_beyond_l1() {
+        let p = scan_probe_point(32, 0);
+        // 32 KiB = 512 blocks of split coverage; 4x = 2048 pages.
+        assert_eq!(p.working_set_pages, 2048);
+        assert!(p.l1_hit_rate < 1.0);
+        assert_eq!(p.l2_hit_rate, 0.0, "disabled L2 is never probed");
+    }
+
+    #[test]
+    fn l2_cuts_steady_scan_overhead_by_at_least_1_3x() {
+        // The headline acceptance shape at the smallest L1 (fast); the
+        // bench asserts it across the whole grid.
+        let without = scan_probe_point(32, 0);
+        let with = scan_probe_point(32, 8);
+        assert!(with.l2_hit_rate > 0.5, "thrash -> L2 hits");
+        let ratio =
+            without.mean_read_overhead.as_nanos_f64() / with.mean_read_overhead.as_nanos_f64();
+        assert!(
+            ratio >= 1.3,
+            "8 MiB L2 must cut scan overhead 1.3x, got {ratio:.2} \
+             ({} vs {})",
+            without.mean_read_overhead,
+            with.mean_read_overhead
+        );
+    }
+}

@@ -145,8 +145,10 @@ pub fn table5(cfg: &WorkloadConfig) -> FigureReport {
 
     // Memory encryption/verification: measured from the IceClave runs.
     let mut enc_ns = Vec::new();
-    let mut ver_ns = Vec::new();
     let mut miss_rates = Vec::new();
+    let mut counter_rates = Vec::new();
+    let mut mac_rates = Vec::new();
+    let mut tree_rates = Vec::new();
     for kind in [
         WorkloadKind::TpchQ1,
         WorkloadKind::TpcB,
@@ -155,7 +157,9 @@ pub fn table5(cfg: &WorkloadConfig) -> FigureReport {
         let r = run(Mode::IceClave, kind, cfg, &Overrides::none());
         miss_rates.push(r.cmt_miss_rate);
         enc_ns.push(r.sec_overhead.as_nanos_f64());
-        ver_ns.push(r.counter_cache_hit_rate);
+        counter_rates.push(r.counter_hit_rate);
+        mac_rates.push(r.mac_hit_rate);
+        tree_rates.push(r.tree_hit_rate);
         let _ = &r;
     }
     // Per-operation means come from a dedicated micro-run.
@@ -177,6 +181,25 @@ pub fn table5(cfg: &WorkloadConfig) -> FigureReport {
         "Memory verification (cmt miss rate)".to_string(),
         fmt_pct(miss_rates.iter().sum::<f64>() / miss_rates.len() as f64),
         "0.17%".to_string(),
+    ]);
+    // Per-block-kind counter-cache hit rates: the split the
+    // metadata-hierarchy work attributes DRAM traffic by (and the
+    // per-ticket accounting hook for hierarchical WFQ).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    table.row(&[
+        "Counter-cache hit rate (counter blocks)".to_string(),
+        fmt_pct(mean(&counter_rates)),
+        "n/a".to_string(),
+    ]);
+    table.row(&[
+        "Counter-cache hit rate (data MACs)".to_string(),
+        fmt_pct(mean(&mac_rates)),
+        "n/a (colocated)".to_string(),
+    ]);
+    table.row(&[
+        "Counter-cache hit rate (tree nodes)".to_string(),
+        fmt_pct(mean(&tree_rates)),
+        "n/a".to_string(),
     ]);
 
     // Cipher engine area (§5: 1.6% of the controller).
@@ -557,38 +580,79 @@ fn colocation_normalized_speedup(kinds: &[WorkloadKind], cfg: &WorkloadConfig) -
     }))
 }
 
-/// Design-choice ablation: counter-cache capacity sweep (Table 3 fixes
-/// it at 128 KiB; this shows the sensitivity of the hybrid scheme's
-/// memory-time to that choice on a read-streaming and a write-heavy
-/// workload).
+/// Design-choice ablation: the two-dimensional counter-metadata
+/// hierarchy sweep — L1 (on-chip SRAM cache) × L2 (MAC-sealed
+/// reserved-DRAM store). The scan rows are the controlled microbench
+/// over a working set 4× the L1's split-counter coverage (steady-state
+/// mean read overhead in ns); the workload rows show the end-to-end
+/// mem-time trend. See [`crate::ablation`] for the grids and the
+/// `ablation_counter_cache` bench for the JSON baseline + acceptance.
 pub fn ablation_counter_cache(cfg: &WorkloadConfig) -> FigureReport {
-    use crate::run::run_with_config;
-    use iceclave_core::IceClaveConfig;
+    use crate::ablation::{scan_sweep, workload_sweep};
+    ablation_report(&scan_sweep(), &workload_sweep(cfg))
+}
 
-    let sizes_kib = [32u64, 64, 128, 256];
-    let mut table = TextTable::new(
-        "Ablation: counter-cache capacity vs memory time (normalized to 128 KiB)",
-        &["workload", "32K", "64K", "128K", "256K"],
-    );
-    let mut summaries = Vec::new();
-    for kind in [WorkloadKind::TpchQ1, WorkloadKind::TpcB] {
-        let mut mems = Vec::new();
-        for &kib in &sizes_kib {
-            let mut config: IceClaveConfig = Mode::IceClave.ssd_config(&Overrides::none());
-            config.mee.counter_cache = ByteSize::from_kib(kib);
-            let r = run_with_config(config, Mode::IceClave, kind, cfg);
-            mems.push(r.mem_time);
+/// Formats already-computed ablation sweeps as a [`FigureReport`] (the
+/// bench computes the sweeps once for the JSON baseline and reuses them
+/// here).
+pub fn ablation_report(
+    scan: &[crate::ablation::ScanPoint],
+    workload: &[crate::ablation::WorkloadPoint],
+) -> FigureReport {
+    use crate::ablation::L2_SWEEP_MIB;
+
+    let mut header: Vec<String> = vec!["config".into()];
+    header.extend(L2_SWEEP_MIB.iter().map(|m| {
+        if *m == 0 {
+            "L2 off".to_string()
+        } else {
+            format!("L2 {m}M")
         }
-        let base = mems[2]; // 128 KiB
-        let cells: Vec<String> = std::iter::once(kind.label().to_string())
-            .chain(mems.iter().map(|m| format!("{:.3}", *m / base)))
-            .collect();
+    }));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        "Ablation: metadata hierarchy — scan mean read overhead (ns) and workload mem time (norm. to L2 off)",
+        &header_refs,
+    );
+
+    let mut summaries = Vec::new();
+    for chunk in scan.chunks(L2_SWEEP_MIB.len()) {
+        let l1 = chunk[0].l1;
+        let mut cells = vec![format!("scan ws=4x, L1 {l1}")];
+        cells.extend(
+            chunk
+                .iter()
+                .map(|p| format!("{:.1}", p.mean_read_overhead.as_nanos_f64())),
+        );
         table.row(&cells);
-        summaries.push((
-            format!("{}: mem-time 32K/128K ratio", kind.label()),
-            mems[0] / base,
-        ));
+        let off = chunk[0].mean_read_overhead.as_nanos_f64();
+        if let Some(l2_8m) = chunk.iter().find(|p| p.l2 == ByteSize::from_mib(8)) {
+            summaries.push((
+                format!("scan L1 {l1}: overhead ratio L2-off / 8MiB-L2 (target >= 1.3)"),
+                off / l2_8m.mean_read_overhead.as_nanos_f64(),
+            ));
+        }
     }
+
+    for chunk in workload.chunks(crate::ablation::WORKLOAD_L2_MIB.len()) {
+        let p0 = &chunk[0];
+        let mut cells = vec![format!(
+            "{} ({}) L1 {}",
+            p0.workload.label(),
+            p0.mode,
+            p0.l1
+        )];
+        // Place each measured point under its matching L2 column; the
+        // workload grid only covers {off, 8 MiB}.
+        for &l2_mib in &L2_SWEEP_MIB {
+            match chunk.iter().find(|p| p.l2 == ByteSize::from_mib(l2_mib)) {
+                Some(p) => cells.push(format!("{:.3}", p.mem_time / p0.mem_time)),
+                None => cells.push("-".into()),
+            }
+        }
+        table.row(&cells);
+    }
+
     FigureReport {
         table,
         summary: summaries,

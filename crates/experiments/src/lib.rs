@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ablation;
 pub mod capacity;
 pub mod energy;
 pub mod fairness;

@@ -43,8 +43,19 @@ pub struct RunResult {
     pub sec_overhead: SimDuration,
     /// Cached-mapping-table miss rate (§6.3 reports 0.17%).
     pub cmt_miss_rate: f64,
-    /// Counter-cache hit rate.
+    /// Counter-cache (L1) hit rate, all block kinds.
     pub counter_cache_hit_rate: f64,
+    /// L1 hit rate on encryption-counter blocks only.
+    pub counter_hit_rate: f64,
+    /// L1 hit rate on data-MAC blocks only (zero when MACs are
+    /// co-located with the data).
+    pub mac_hit_rate: f64,
+    /// L1 hit rate on integrity-tree nodes only.
+    pub tree_hit_rate: f64,
+    /// Second-level (DRAM) counter-store hit rate; zero when disabled.
+    pub l2_hit_rate: f64,
+    /// Mean latency the MEE added to each program read.
+    pub mean_read_overhead: SimDuration,
     /// Table 6: extra encryption traffic / regular traffic.
     pub enc_traffic: f64,
     /// Table 6: extra verification traffic / regular traffic.
@@ -485,6 +496,11 @@ fn run_ssd_with(
         sec_overhead: mee_stats.read_overhead + mee_stats.write_overhead,
         cmt_miss_rate: ice.platform().ftl.cmt().miss_rate(),
         counter_cache_hit_rate: ice.mee().cache_hit_rate(),
+        counter_hit_rate: mee_stats.meta_traffic.counter_hit_rate(),
+        mac_hit_rate: mee_stats.meta_traffic.mac_hit_rate(),
+        tree_hit_rate: mee_stats.meta_traffic.tree_hit_rate(),
+        l2_hit_rate: mee_stats.l2_hit_rate(),
+        mean_read_overhead: mee_stats.mean_read_overhead(),
         enc_traffic: mee_stats.encryption_traffic_overhead(),
         ver_traffic: mee_stats.verification_traffic_overhead(),
         world_switches: ice.platform().monitor.stats().switches,
@@ -739,6 +755,11 @@ fn run_host(
         sec_overhead: mee_stats.read_overhead + mee_stats.write_overhead,
         cmt_miss_rate: platform.ftl.cmt().miss_rate(),
         counter_cache_hit_rate: mee.cache_hit_rate(),
+        counter_hit_rate: mee_stats.meta_traffic.counter_hit_rate(),
+        mac_hit_rate: mee_stats.meta_traffic.mac_hit_rate(),
+        tree_hit_rate: mee_stats.meta_traffic.tree_hit_rate(),
+        l2_hit_rate: mee_stats.l2_hit_rate(),
+        mean_read_overhead: mee_stats.mean_read_overhead(),
         enc_traffic: mee_stats.encryption_traffic_overhead(),
         ver_traffic: mee_stats.verification_traffic_overhead(),
         world_switches: platform.monitor.stats().switches,

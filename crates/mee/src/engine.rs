@@ -3,9 +3,14 @@
 //! Decomposes every program-visible cache-line access into its DRAM data
 //! access plus the metadata traffic (encryption counters, data MACs,
 //! integrity-tree nodes) implied by the configured counter mode, all
-//! filtered through the on-chip counter cache. Metadata is write-back:
-//! updates dirty cached blocks and reach DRAM on eviction, which is what
-//! keeps Table 6's extra-traffic percentages tied to write intensity.
+//! filtered through the two-level metadata hierarchy: the on-chip
+//! counter cache (L1), then — when configured — the MAC-sealed
+//! [`L2MetaStore`] in a reserved region of SSD DRAM, and only then the
+//! home location with its Merkle verification walk. Metadata is
+//! write-back at both levels: updates dirty L1 blocks, L1 victims
+//! demote into L2, and dirty L2 victims reach their home location on
+//! eviction — which is what keeps Table 6's extra-traffic percentages
+//! tied to write intensity.
 
 use std::collections::HashMap;
 
@@ -14,6 +19,7 @@ use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
 
 use crate::cache::MetaCache;
 use crate::counters::{PageClass, SplitCounterBlock};
+use crate::l2::L2MetaStore;
 use crate::tree::TreeGeometry;
 
 /// Which counter organization protects DRAM.
@@ -52,6 +58,16 @@ pub struct MeeConfig {
     /// traffic — which matches Table 6's encryption > verification
     /// ordering for read-heavy workloads.
     pub mac_colocated: bool,
+    /// Capacity of the second-level counter store in the reserved
+    /// SSD-DRAM region ([`crate::L2MetaStore`]); `ByteSize::ZERO` (the
+    /// default) disables the level entirely, leaving the engine's
+    /// timing byte-identical to the SRAM-only hierarchy. The region is
+    /// carved out of the **top** of the protected DRAM address space,
+    /// so L2 traffic contends with program data on the same banks and
+    /// buses.
+    pub l2_capacity: ByteSize,
+    /// Associativity of the second-level counter store.
+    pub l2_ways: usize,
 }
 
 impl MeeConfig {
@@ -64,7 +80,16 @@ impl MeeConfig {
             mac_latency: SimDuration::from_nanos(40),
             protected_pages: 1 << 20,
             mac_colocated: true,
+            l2_capacity: ByteSize::ZERO,
+            l2_ways: 16,
         }
+    }
+
+    /// Enables the DRAM-backed second-level counter store with
+    /// `capacity` bytes of sealed blocks.
+    pub fn with_l2(mut self, capacity: ByteSize) -> Self {
+        self.l2_capacity = capacity;
+        self
     }
 
     /// No protection (ISC baseline).
@@ -118,6 +143,80 @@ pub struct MeeStats {
     pub read_overhead: SimDuration,
     /// Total latency added to writes beyond the raw DRAM access.
     pub write_overhead: SimDuration,
+    /// Per-block-kind L1 (on-chip cache) traffic; also the per-ticket
+    /// attribution hook: snapshot before/after a ticket's accesses and
+    /// subtract ([`MetaTraffic::since`]).
+    pub meta_traffic: MetaTraffic,
+    /// L2 probes that hit (L1 miss served by the DRAM store).
+    pub l2_hits: u64,
+    /// L2 probes that missed (the access fell through to the tree
+    /// walk).
+    pub l2_misses: u64,
+    /// L1 victims demoted into the L2 store (each is one sealed-block
+    /// DRAM write into the reserved region).
+    pub l2_demotions: u64,
+    /// Dirty L2 victims written back to their home metadata location.
+    pub l2_writebacks: u64,
+}
+
+/// Per-block-kind metadata-cache traffic: hits and misses of the
+/// on-chip L1 cache split by what the block holds, plus the L2 probe
+/// totals. `Copy` so callers can snapshot it cheaply around a request
+/// and attribute the delta — the per-ticket accounting hook the
+/// hierarchical-WFQ work needs to bill counter-cache DRAM traffic to
+/// the tenant that caused it.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct MetaTraffic {
+    /// L1 hits on encryption-counter blocks (split or major).
+    pub counter_hits: u64,
+    /// L1 misses on encryption-counter blocks.
+    pub counter_misses: u64,
+    /// L1 hits on data-MAC blocks.
+    pub mac_hits: u64,
+    /// L1 misses on data-MAC blocks.
+    pub mac_misses: u64,
+    /// L1 hits on integrity-tree nodes.
+    pub tree_hits: u64,
+    /// L1 misses on integrity-tree nodes.
+    pub tree_misses: u64,
+}
+
+impl MetaTraffic {
+    /// The traffic accumulated since an `earlier` snapshot.
+    pub fn since(&self, earlier: &MetaTraffic) -> MetaTraffic {
+        MetaTraffic {
+            counter_hits: self.counter_hits - earlier.counter_hits,
+            counter_misses: self.counter_misses - earlier.counter_misses,
+            mac_hits: self.mac_hits - earlier.mac_hits,
+            mac_misses: self.mac_misses - earlier.mac_misses,
+            tree_hits: self.tree_hits - earlier.tree_hits,
+            tree_misses: self.tree_misses - earlier.tree_misses,
+        }
+    }
+
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// L1 hit rate on counter blocks.
+    pub fn counter_hit_rate(&self) -> f64 {
+        Self::rate(self.counter_hits, self.counter_misses)
+    }
+
+    /// L1 hit rate on data-MAC blocks.
+    pub fn mac_hit_rate(&self) -> f64 {
+        Self::rate(self.mac_hits, self.mac_misses)
+    }
+
+    /// L1 hit rate on integrity-tree nodes.
+    pub fn tree_hit_rate(&self) -> f64 {
+        Self::rate(self.tree_hits, self.tree_misses)
+    }
 }
 
 impl MeeStats {
@@ -156,6 +255,17 @@ impl MeeStats {
             SimDuration::ZERO
         } else {
             self.write_overhead / self.data_writes
+        }
+    }
+
+    /// L2 probe hit rate in `[0,1]`, zero when the level is disabled or
+    /// never probed.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
         }
     }
 }
@@ -204,7 +314,9 @@ const KIND_MAJOR: u64 = 1;
 const KIND_MAC: u64 = 2;
 const KIND_STREE: u64 = 3;
 const KIND_MTREE: u64 = 4;
-const KIND_BITS: u64 = 3;
+/// Low bits of a metadata block id holding the kind tag (shared with
+/// the L2 store's stride-aware set indexing).
+pub(crate) const KIND_BITS: u64 = 3;
 const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
 
 const fn meta_id(kind: u64, payload: u64) -> u64 {
@@ -228,6 +340,7 @@ fn meta_line(id: u64) -> CacheLine {
 pub struct MeeEngine {
     config: MeeConfig,
     cache: MetaCache,
+    l2: Option<L2MetaStore>,
     page_class: HashMap<u64, PageClass>,
     split_counters: HashMap<u64, SplitCounterBlock>,
     split_tree: TreeGeometry,
@@ -236,11 +349,23 @@ pub struct MeeEngine {
 }
 
 impl MeeEngine {
-    /// Creates an engine with cold caches and zeroed counters.
+    /// Creates an engine with cold caches and zeroed counters. When
+    /// `config.l2_capacity` is non-zero (and memory is protected at
+    /// all), the second-level store is placed in a reserved region at
+    /// the **top** of the protected DRAM address space — its slot lines
+    /// go through the same bank/bus map as program data, so L2 traffic
+    /// contends realistically.
     pub fn new(config: MeeConfig) -> Self {
+        let l2_blocks = config.l2_capacity.as_bytes() / 64;
+        let l2 = (l2_blocks > 0 && config.mode != CounterMode::Unprotected).then(|| {
+            let top = config.protected_pages * LINES_PER_PAGE;
+            let base = top.saturating_sub(l2_blocks);
+            L2MetaStore::new(config.l2_capacity, config.l2_ways, base)
+        });
         MeeEngine {
             config,
             cache: MetaCache::new(config.counter_cache, config.cache_ways),
+            l2,
             page_class: HashMap::new(),
             split_counters: HashMap::new(),
             split_tree: TreeGeometry::for_leaves(config.protected_pages),
@@ -286,11 +411,14 @@ impl MeeEngine {
         let major = self.split_counters.get(&page).map_or(0, |b| b.major());
         self.split_counters
             .insert(page, SplitCounterBlock::with_major(major + 1));
-        // Stale counter metadata of the old tree must not be reused.
-        let dirty = self.cache.invalidate(self.counter_id(page, current));
-        if dirty {
-            let _ = dram.access(meta_line(self.counter_id(page, current)), MemOp::Write, now);
-            self.note_writeback(self.counter_id(page, current));
+        // Stale counter metadata of the old tree must not be reused —
+        // at either level of the hierarchy.
+        let stale = self.counter_id(page, current);
+        let l1_dirty = self.cache.invalidate(stale);
+        let l2_dirty = self.l2.as_mut().is_some_and(|l2| l2.invalidate(stale));
+        if l1_dirty || l2_dirty {
+            let _ = dram.access(meta_line(stale), MemOp::Write, now);
+            self.note_writeback(stale);
         }
         self.stats.migrations += 1;
         // Re-encrypt the page under the new counter: read + write every
@@ -328,6 +456,10 @@ impl MeeEngine {
         let id = self.counter_id(page, self.effective_class(page));
         let was_cached = self.cache.invalidate(id);
         let _ = was_cached;
+        // The home write below supersedes any sealed L2 copy.
+        if let Some(l2) = self.l2.as_mut() {
+            let _ = l2.invalidate(id);
+        }
         let _ = dram.access(meta_line(id), MemOp::Write, end);
         self.stats.extra_enc_writes += 1;
         self.stats.encryptions += LINES_PER_PAGE;
@@ -380,6 +512,9 @@ impl MeeEngine {
             .insert(page, SplitCounterBlock::with_major(major + 1));
         let id = self.counter_id(page, self.effective_class(page));
         let _ = self.cache.invalidate(id);
+        if let Some(l2) = self.l2.as_mut() {
+            let _ = l2.invalidate(id);
+        }
         let _ = dram.access(meta_line(id), MemOp::Write, end);
         self.stats.extra_enc_writes += 1;
         self.stats.encryptions += LINES_PER_PAGE;
@@ -506,8 +641,14 @@ impl MeeEngine {
         // tree-path update.
         if !self.config.mac_colocated {
             let mac_id = meta_id(KIND_MAC, line.raw() / 8);
-            let out = self.cache.access_dirty(mac_id);
-            self.drain_writeback(dram, out.writeback, data.end);
+            // The posted update supersedes any sealed L2 copy; dropping
+            // it (rather than promoting) keeps the hierarchy exclusive,
+            // and the dirty L1 insert below re-establishes the home
+            // write-back obligation a dirty sealed copy carried.
+            if let Some(l2) = self.l2.as_mut() {
+                let _ = l2.invalidate(mac_id);
+            }
+            let _ = self.l1_access(dram, mac_id, true, data.end);
         }
         let done = self.update_tree_path(dram, page, class, data.end);
         self.stats.verifications += 1;
@@ -520,9 +661,30 @@ impl MeeEngine {
         &self.stats
     }
 
-    /// Counter-cache hit rate.
+    /// Counter-cache (L1) hit rate.
     pub fn cache_hit_rate(&self) -> f64 {
         self.cache.hit_rate()
+    }
+
+    /// Per-block-kind L1 traffic plus L2 probe totals — snapshot this
+    /// around a request to attribute metadata traffic per ticket.
+    pub fn meta_traffic(&self) -> MetaTraffic {
+        self.stats.meta_traffic
+    }
+
+    /// The second-level store, when configured.
+    pub fn l2_store(&self) -> Option<&L2MetaStore> {
+        self.l2.as_ref()
+    }
+
+    /// Functional counter-state probe for equivalence tests: the line
+    /// counter of `line_in_page` within `page`, zero when untouched.
+    /// The metadata hierarchy is a pure performance layer — this value
+    /// must be identical whatever the L1/L2 configuration.
+    pub fn line_counter(&self, page: u64, line_in_page: usize) -> u128 {
+        self.split_counters
+            .get(&page)
+            .map_or(0, |b| b.line_counter(line_in_page))
     }
 
     /// The split-counter tree geometry (for reports).
@@ -563,8 +725,101 @@ impl MeeEngine {
         }
     }
 
-    /// Fetches (and on a miss, verifies) the counter block for a read.
-    /// Returns the ready time and whether the counter was cached.
+    /// L1 lookup with per-kind accounting. A miss inserts the block;
+    /// the victim (if any) is demoted into L2 — or, without an L2,
+    /// written back to its home location when dirty. Returns whether
+    /// the block was already on-chip.
+    fn l1_access(&mut self, dram: &mut Dram, id: u64, dirty: bool, now: SimTime) -> bool {
+        let out = if dirty {
+            self.cache.access_dirty(id)
+        } else {
+            self.cache.access(id)
+        };
+        let t = &mut self.stats.meta_traffic;
+        match (id & KIND_MASK, out.hit) {
+            (KIND_SPLIT | KIND_MAJOR, true) => t.counter_hits += 1,
+            (KIND_SPLIT | KIND_MAJOR, false) => t.counter_misses += 1,
+            (KIND_MAC, true) => t.mac_hits += 1,
+            (KIND_MAC, false) => t.mac_misses += 1,
+            (_, true) => t.tree_hits += 1,
+            (_, false) => t.tree_misses += 1,
+        }
+        self.handle_l1_eviction(dram, out.evicted, now);
+        out.hit
+    }
+
+    /// Routes an L1 victim down the hierarchy. With an L2 the victim is
+    /// demoted whether clean or dirty (victim-cache style — read-mostly
+    /// metadata must populate L2 for scans to benefit); the sealed-slot
+    /// write and any displaced dirty home write-back are issued as one
+    /// bank-aware batch. Without an L2, dirty victims write straight
+    /// home as before.
+    fn handle_l1_eviction(&mut self, dram: &mut Dram, evicted: Option<(u64, bool)>, now: SimTime) {
+        let Some((block, was_dirty)) = evicted else {
+            return;
+        };
+        match self.l2.as_mut() {
+            Some(l2) => {
+                let demotion = l2.demote(block, was_dirty);
+                self.stats.l2_demotions += 1;
+                let mut writes = [demotion.slot, CacheLine::new(0)];
+                let mut n = 1;
+                if let Some(victim) = demotion.home_writeback {
+                    self.stats.l2_writebacks += 1;
+                    self.note_writeback(victim);
+                    writes[1] = meta_line(victim);
+                    n = 2;
+                }
+                self.note_writeback(block); // the sealed-slot write is metadata traffic too
+                let _ = dram.access_batch(&writes[..n], MemOp::Write, now);
+            }
+            None => {
+                if was_dirty {
+                    let _ = dram.access(meta_line(block), MemOp::Write, now);
+                    self.note_writeback(block);
+                }
+            }
+        }
+    }
+
+    /// Consults the DRAM-resident L2 store after an L1 miss. On a hit
+    /// the sealed block is fetched from its reserved-region slot and
+    /// its session MAC checked; that single MAC binds id + payload +
+    /// epoch, so the block is trusted **without any tree walk** and
+    /// promotes (exclusively) into L1, carrying its deferred write-back
+    /// obligation. Returns the verified-ready time, or `None` on a
+    /// miss.
+    fn l2_probe(&mut self, dram: &mut Dram, id: u64, now: SimTime) -> Option<SimTime> {
+        let l2 = self.l2.as_mut()?;
+        match l2.take(id) {
+            Some(promotion) => {
+                self.stats.l2_hits += 1;
+                let fetch = dram.access(promotion.line, MemOp::Read, now);
+                self.note_meta_read(id);
+                if promotion.dirty {
+                    self.cache.mark_dirty(id);
+                }
+                // The session-MAC check of the sealed block.
+                self.stats.verifications += 1;
+                Some(fetch.end + self.config.mac_latency)
+            }
+            None => {
+                self.stats.l2_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fetches (and on a miss, verifies) the counter block for a read,
+    /// consulting L1 → L2 → home-with-tree-walk in order. Returns the
+    /// ready time and whether the counter came from the hierarchy
+    /// (L1 or L2) rather than a verification walk.
+    ///
+    /// An L2 hit reports `true`: the sealed block's single MAC check is
+    /// the only exposed serialization — pad generation and the data-MAC
+    /// compare are speculated while it completes, exactly as they are
+    /// for an on-chip hit — so the hit costs one DRAM fetch plus one
+    /// MAC check, not the multi-fetch walk.
     fn fetch_counter(
         &mut self,
         dram: &mut Dram,
@@ -573,10 +828,11 @@ impl MeeEngine {
         now: SimTime,
     ) -> (SimTime, bool) {
         let id = self.counter_id(page, class);
-        let out = self.cache.access(id);
-        self.drain_writeback(dram, out.writeback, now);
-        if out.hit {
+        if self.l1_access(dram, id, false, now) {
             return (now, true);
+        }
+        if let Some(ready) = self.l2_probe(dram, id, now) {
+            return (ready, true);
         }
         self.stats.extra_enc_reads += 1;
         let counter_end = dram.access(meta_line(id), MemOp::Read, now).end;
@@ -584,8 +840,8 @@ impl MeeEngine {
         (counter_end.max(walk_end), false)
     }
 
-    /// Counter fetch for an update: identical walk, but the block ends
-    /// dirty in the cache. Returns the ready time and hit flag.
+    /// Counter fetch for an update: identical hierarchy, but the block
+    /// ends dirty in L1. Returns the ready time and hit flag.
     fn fetch_counter_for_update(
         &mut self,
         dram: &mut Dram,
@@ -594,10 +850,11 @@ impl MeeEngine {
         now: SimTime,
     ) -> (SimTime, bool) {
         let id = self.counter_id(page, class);
-        let out = self.cache.access_dirty(id);
-        self.drain_writeback(dram, out.writeback, now);
-        if out.hit {
+        if self.l1_access(dram, id, true, now) {
             return (now, true);
+        }
+        if let Some(ready) = self.l2_probe(dram, id, now) {
+            return (ready, true);
         }
         self.stats.extra_enc_reads += 1;
         let counter_end = dram.access(meta_line(id), MemOp::Read, now).end;
@@ -606,7 +863,8 @@ impl MeeEngine {
     }
 
     /// Walks the integrity tree from the counter leaf upward until a
-    /// cached (trusted) node or the root register. The MEE issues the
+    /// trusted ancestor — an L1-cached node, an L2-sealed node (one
+    /// fetch + one MAC check), or the root register. The MEE issues the
     /// whole path's fetches in parallel with the counter fetch
     /// (hardware walks are speculative); the exposed latency is the
     /// slowest fetch plus one MAC check.
@@ -622,11 +880,16 @@ impl MeeEngine {
         let mut ready = start;
         for level in 1..=tree.depth() {
             let node_id = meta_id(kind, tree_node_payload(level, tree.ancestor(leaf, level)));
-            let out = self.cache.access(node_id);
-            self.drain_writeback(dram, out.writeback, start);
+            let hit = self.l1_access(dram, node_id, false, start);
             self.stats.verifications += 1;
-            if out.hit {
+            if hit {
                 break; // trusted cached ancestor: stop here
+            }
+            if let Some(node_ready) = self.l2_probe(dram, node_id, start) {
+                // A MAC-verified sealed ancestor is as trusted as a
+                // cached one: the walk stops here.
+                ready = ready.max(node_ready);
+                break;
             }
             self.stats.extra_ver_reads += 1;
             ready = ready.max(dram.access(meta_line(node_id), MemOp::Read, start).end);
@@ -634,17 +897,18 @@ impl MeeEngine {
         ready + self.config.mac_latency
     }
 
-    /// Fetches the data-MAC block covering `line`.
+    /// Fetches the data-MAC block covering `line` through the same
+    /// L1 → L2 → home hierarchy.
     fn fetch_mac(&mut self, dram: &mut Dram, line: CacheLine, now: SimTime) -> SimTime {
         let mac_id = meta_id(KIND_MAC, line.raw() / 8);
-        let out = self.cache.access(mac_id);
-        self.drain_writeback(dram, out.writeback, now);
-        if out.hit {
-            now
-        } else {
-            self.stats.extra_ver_reads += 1;
-            dram.access(meta_line(mac_id), MemOp::Read, now).end
+        if self.l1_access(dram, mac_id, false, now) {
+            return now;
         }
+        if let Some(ready) = self.l2_probe(dram, mac_id, now) {
+            return ready;
+        }
+        self.stats.extra_ver_reads += 1;
+        dram.access(meta_line(mac_id), MemOp::Read, now).end
     }
 
     /// Dirties the counter's tree path: cached ancestors are updated in
@@ -665,8 +929,7 @@ impl MeeEngine {
             if !self.cache.contains(node_id) {
                 break;
             }
-            let out = self.cache.access_dirty(node_id);
-            self.drain_writeback(dram, out.writeback, t);
+            let _ = self.l1_access(dram, node_id, true, t);
         }
         t
     }
@@ -688,20 +951,20 @@ impl MeeEngine {
         t
     }
 
-    /// Writes back an evicted dirty metadata block, attributing the
-    /// traffic to encryption (counters) or verification (MACs, tree
-    /// nodes).
-    fn drain_writeback(&mut self, dram: &mut Dram, victim: Option<u64>, now: SimTime) {
-        if let Some(id) = victim {
-            let _ = dram.access(meta_line(id), MemOp::Write, now);
-            self.note_writeback(id);
-        }
-    }
-
+    /// Attributes one metadata write to encryption (counters) or
+    /// verification (MACs, tree nodes) traffic.
     fn note_writeback(&mut self, id: u64) {
         match id & KIND_MASK {
             KIND_SPLIT | KIND_MAJOR => self.stats.extra_enc_writes += 1,
             _ => self.stats.extra_ver_writes += 1,
+        }
+    }
+
+    /// Attributes one metadata read the same way.
+    fn note_meta_read(&mut self, id: u64) {
+        match id & KIND_MASK {
+            KIND_SPLIT | KIND_MAJOR => self.stats.extra_enc_reads += 1,
+            _ => self.stats.extra_ver_reads += 1,
         }
     }
 }
@@ -855,6 +1118,220 @@ mod tests {
             mee.stats().extra_enc_writes > 0,
             "evictions should write back dirty counters"
         );
+    }
+
+    /// A small hierarchy that thrashes quickly: 4 KiB L1 (64 blocks)
+    /// over a 64 KiB L2 (1024 sealed blocks).
+    fn setup_small_l2(mode: CounterMode, l2_kib: u64) -> (Dram, MeeEngine) {
+        let config = MeeConfig {
+            mode,
+            counter_cache: ByteSize::from_kib(4),
+            l2_capacity: ByteSize::from_kib(l2_kib),
+            ..MeeConfig::hybrid()
+        };
+        (Dram::new(DramConfig::table3()), MeeEngine::new(config))
+    }
+
+    /// Sweeps line 0 of `pages` pages, returning the engine clock.
+    fn sweep(dram: &mut Dram, mee: &mut MeeEngine, pages: u64, mut t: SimTime) -> SimTime {
+        for p in 0..pages {
+            t = mee.read_line(dram, CacheLine::new(p * LINES_PER_PAGE), t);
+        }
+        t
+    }
+
+    #[test]
+    fn l2_is_disabled_by_default_and_under_unprotected() {
+        let mee = MeeEngine::new(MeeConfig::hybrid());
+        assert!(mee.l2_store().is_none(), "ZERO capacity leaves no L2");
+        let cfg = MeeConfig::unprotected().with_l2(ByteSize::from_mib(8));
+        assert!(MeeEngine::new(cfg).l2_store().is_none());
+    }
+
+    #[test]
+    fn l2_region_is_carved_from_the_top_of_protected_dram() {
+        let cfg = MeeConfig::split_only().with_l2(ByteSize::from_mib(8));
+        let mee = MeeEngine::new(cfg);
+        let l2 = mee.l2_store().expect("configured");
+        let blocks = (8 << 20) / 64;
+        assert_eq!(l2.capacity_blocks() as u64, blocks);
+        let top = cfg.protected_pages * LINES_PER_PAGE;
+        assert_eq!(l2.base_line(), top - blocks);
+    }
+
+    #[test]
+    fn l1_victims_demote_and_rereferences_hit_l2() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 64);
+        // 512 split counter blocks: 8x the 64-block L1, inside the
+        // 1024-block L2. Pass 1 is compulsory misses + demotions; pass 2
+        // must be (almost) pure L2 hits.
+        let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+        assert!(mee.stats().l2_demotions > 0, "L1 victims must demote");
+        let misses_before = mee.stats().l2_misses;
+        sweep(&mut dram, &mut mee, 512, t);
+        let s = mee.stats();
+        assert!(s.l2_hits > 400, "second pass should hit L2: {}", s.l2_hits);
+        assert_eq!(
+            s.l2_misses, misses_before,
+            "second pass takes no new L2 misses"
+        );
+        assert!(s.l2_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn l2_hit_beats_the_merkle_walk() {
+        // Same thrashing sweep twice; the steady-state (second pass)
+        // mean read overhead must be measurably lower with the L2 than
+        // without — the 1-fetch + 1-MAC hit vs the multi-fetch walk.
+        let steady_overhead = |l2_kib: u64| {
+            let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, l2_kib);
+            let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+            let warm = mee.stats().clone();
+            sweep(&mut dram, &mut mee, 512, t);
+            let s = mee.stats();
+            (s.read_overhead - warm.read_overhead) / (s.data_reads - warm.data_reads)
+        };
+        let without = {
+            let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+            // No-L2 control with the same small L1.
+            let config = MeeConfig {
+                counter_cache: ByteSize::from_kib(4),
+                ..*mee.config()
+            };
+            mee = MeeEngine::new(config);
+            let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+            let warm = mee.stats().clone();
+            sweep(&mut dram, &mut mee, 512, t);
+            let s = mee.stats();
+            (s.read_overhead - warm.read_overhead) / (s.data_reads - warm.data_reads)
+        };
+        let with = steady_overhead(64);
+        assert!(
+            with.as_nanos_f64() * 1.3 < without.as_nanos_f64(),
+            "L2 steady overhead {with} vs SRAM-only {without}"
+        );
+    }
+
+    #[test]
+    fn hierarchy_is_exclusive() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 64);
+        let mut t = SimTime::ZERO;
+        // Mixed reads and writes over a thrashing working set, with
+        // re-references so promotions happen too.
+        for round in 0..3u64 {
+            for p in 0..300u64 {
+                let line = CacheLine::new(p * LINES_PER_PAGE + round);
+                t = if p % 3 == 0 {
+                    mee.write_line(&mut dram, line, t)
+                } else {
+                    mee.read_line(&mut dram, line, t)
+                };
+            }
+        }
+        let l2 = mee.l2_store().expect("configured");
+        for block in l2.resident_blocks() {
+            assert!(
+                !mee.cache.contains(block),
+                "block {block} resident in both levels"
+            );
+        }
+    }
+
+    #[test]
+    fn noncolocated_mac_writes_keep_exclusivity() {
+        // Separate MAC region: the write path's MAC update must drop
+        // any sealed L2 copy before inserting into L1, or a block ends
+        // up resident at both levels.
+        let config = MeeConfig {
+            mode: CounterMode::SplitOnly,
+            counter_cache: ByteSize::from_kib(4),
+            l2_capacity: ByteSize::from_kib(64),
+            mac_colocated: false,
+            ..MeeConfig::split_only()
+        };
+        let mut dram = Dram::new(DramConfig::table3());
+        let mut mee = MeeEngine::new(config);
+        let mut t = SimTime::ZERO;
+        // Reads spread MAC blocks through L1 and (via demotion) L2,
+        // then writes revisit the same lines' MAC blocks.
+        for round in 0..2 {
+            for i in 0..2048u64 {
+                let line = CacheLine::new(i * 8);
+                t = if round == 0 {
+                    mee.read_line(&mut dram, line, t)
+                } else {
+                    mee.write_line(&mut dram, line, t)
+                };
+            }
+        }
+        let l2 = mee.l2_store().expect("configured");
+        for block in l2.resident_blocks() {
+            assert!(
+                !mee.cache.contains(block),
+                "block {block} resident in both levels"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_demotions_eventually_write_home() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 8);
+        // Tiny L2 (128 blocks): dirty counters demoted from L1 overflow
+        // the store and must drain to their home locations.
+        let mut t = SimTime::ZERO;
+        for p in 0..2048u64 {
+            t = mee.write_line(&mut dram, CacheLine::new(p * LINES_PER_PAGE), t);
+        }
+        let s = mee.stats();
+        assert!(s.l2_writebacks > 0, "dirty L2 victims must go home");
+        assert!(s.extra_enc_writes >= s.l2_writebacks);
+    }
+
+    #[test]
+    fn per_kind_hit_rates_split_the_aggregate() {
+        let (mut dram, mut mee) = setup(CounterMode::SplitOnly);
+        let mut t = SimTime::ZERO;
+        for i in 0..200u64 {
+            t = mee.read_line(&mut dram, CacheLine::new(i), t);
+        }
+        let traffic = mee.meta_traffic();
+        let l1_total = mee.cache.hits() + mee.cache.misses();
+        assert_eq!(
+            traffic.counter_hits
+                + traffic.counter_misses
+                + traffic.mac_hits
+                + traffic.mac_misses
+                + traffic.tree_hits
+                + traffic.tree_misses,
+            l1_total,
+            "per-kind accounting must cover every L1 access"
+        );
+        assert!(traffic.counter_hit_rate() > 0.0);
+        assert!(traffic.tree_hits + traffic.tree_misses > 0);
+        // Colocated MACs generate no MAC-block traffic.
+        assert_eq!(traffic.mac_hits + traffic.mac_misses, 0);
+        // The snapshot hook: a delta over one access attributes only
+        // that access's traffic.
+        let before = mee.meta_traffic();
+        mee.read_line(&mut dram, CacheLine::new(0), t);
+        let delta = mee.meta_traffic().since(&before);
+        assert_eq!(delta.counter_hits + delta.counter_misses, 1);
+    }
+
+    #[test]
+    fn migration_invalidates_stale_l2_copies() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::Hybrid, 64);
+        // Dirty the page's split counter, thrash it out of L1 into L2,
+        // then migrate the page: the sealed copy must not survive.
+        let mut t = mee.write_line(&mut dram, CacheLine::new(0), SimTime::ZERO);
+        t = sweep(&mut dram, &mut mee, 512, t);
+        let split_id = 0u64 << 3; // KIND_SPLIT, page 0
+        let in_l2 = mee.l2_store().expect("l2").contains(split_id);
+        mee.migrate_page(&mut dram, 0, PageClass::ReadOnly, t);
+        assert!(!mee.l2_store().expect("l2").contains(split_id));
+        // If the stale copy was sealed dirty, its home write-back was
+        // billed by the migration.
+        let _ = in_l2;
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //!
 //! * [`MeeEngine`] — the **timing/traffic** model: every program-visible
 //!   cache-line access is decomposed into DRAM data traffic plus the
-//!   extra counter/MAC/tree traffic, filtered through a real
-//!   set-associative counter cache (128 KiB in Table 3's configuration).
-//!   This is what produces the overhead numbers of Figures 8/11 and the
-//!   extra-traffic percentages of Table 6.
+//!   extra counter/MAC/tree traffic, filtered through a two-level
+//!   metadata hierarchy: a real set-associative on-chip counter cache
+//!   (128 KiB in Table 3's configuration) backed, when configured, by a
+//!   MAC-sealed second-level store ([`L2MetaStore`]) in a reserved
+//!   region of the SSD's DRAM — an L2 hit costs one DRAM fetch plus one
+//!   MAC check instead of a Merkle walk. This is what produces the
+//!   overhead numbers of Figures 8/11 and the extra-traffic percentages
+//!   of Table 6.
 //! * [`SecureMemory`] — the **functional** model: byte-accurate
 //!   encryption (AES-CTR pads), MAC computation and Merkle verification
 //!   over real data, used by the threat-model tests to demonstrate that
@@ -43,11 +47,15 @@
 pub mod cache;
 pub mod counters;
 pub mod engine;
+pub mod l2;
 pub mod secure;
 pub mod tree;
 
-pub use cache::MetaCache;
+pub use cache::{CacheOutcome, MetaCache};
 pub use counters::{MajorCounterBlock, PageClass, SplitCounterBlock, MINOR_LIMIT};
-pub use engine::{CounterMode, MeeConfig, MeeEngine, MeeStats, PageFill, PageSeal, SealSpan};
+pub use engine::{
+    CounterMode, MeeConfig, MeeEngine, MeeStats, MetaTraffic, PageFill, PageSeal, SealSpan,
+};
+pub use l2::{L2Demotion, L2MetaStore, L2Promotion};
 pub use secure::{SecureMemory, VerifyError};
 pub use tree::{MerkleTree, TreeGeometry};

@@ -7,8 +7,10 @@
 //! # Documentation
 //!
 //! * `docs/ARCHITECTURE.md` (in-tree) — the crate map, the read and
-//!   write event pipelines, the weighted-fair-queueing scheduler's
-//!   invariants, and the ticket lifecycle, in one place.
+//!   write event pipelines, the MEE's two-level metadata hierarchy
+//!   (SRAM L1 → MAC-sealed DRAM L2 → tree walk), the
+//!   weighted-fair-queueing scheduler's invariants, and the ticket
+//!   lifecycle, in one place.
 //! * The drain-order contract of the completion queue lives in the
 //!   [`iceclave_exec::completion`] module documentation — the single
 //!   source of truth, quoted by
