@@ -1,0 +1,175 @@
+//! Simulator-speed bench: wall-clock throughput of the executor hot
+//! path on a fixed 2-tenant interleaving scenario.
+//!
+//! Unlike the figure benches (which report *simulated* latencies), this
+//! bench measures how fast the simulator itself runs: simulated pages
+//! retired per wall-clock second while two TEEs keep read and write
+//! tickets interleaved across 16 channels under WFQ. This is the
+//! metric that gates fleet-scale serving and trace replay — see the
+//! "Simulator performance" section of `docs/ARCHITECTURE.md`.
+//!
+//! The scenario is fixed so numbers are comparable across PRs:
+//! 2 TEEs x 4 concurrent 32-page read batches + one 16-page write
+//! batch per TEE per round, 8 rounds per iteration (2,304 simulated
+//! pages). The bench emits `BENCH_simspeed.json` (override the path
+//! with `BENCH_SIMSPEED_JSON`) and asserts a conservative pages/s
+//! floor so a future PR cannot silently regress the hot path.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use iceclave_core::IceClave;
+use iceclave_experiments::{Mode, Overrides};
+use iceclave_types::{Lpn, PageWrite, SimTime, TeeId, PAGE_SIZE};
+
+const TEES: u64 = 2;
+const READ_BATCHES: u64 = 4;
+const BATCH_PAGES: u64 = 32;
+const WRITE_PAGES: u64 = 16;
+const ROUNDS: u64 = 8;
+const CHANNELS: u32 = 16;
+
+/// Simulated pages retired per iteration of the scenario.
+const PAGES_PER_ITER: u64 = ROUNDS * TEES * (READ_BATCHES * BATCH_PAGES + WRITE_PAGES);
+
+/// Conservative wall-clock floor (pages/s) asserted at the end of the
+/// bench. The flattened hot path sustains well over 10^6 pages/s on a
+/// development machine; the floor is set an order of magnitude below
+/// the post-flattening rate so slow shared CI runners pass while a
+/// return to the pre-flattening executor (~5x slower) still trips it.
+const FLOOR_PAGES_PER_S: f64 = 150_000.0;
+
+/// A 16-channel device with two TEEs. Each TEE's grant is split into a
+/// read half and a write half so in-flight read and write tickets never
+/// race the same logical page (the executor's documented in-flight
+/// contract).
+fn setup() -> (IceClave, Vec<(TeeId, Vec<Lpn>)>, SimTime) {
+    let overrides = Overrides {
+        channels: Some(CHANNELS),
+        ..Overrides::none()
+    };
+    let config = Mode::IceClave.ssd_config(&overrides);
+    let mut ice = IceClave::new(config);
+    let pages_per_tee = READ_BATCHES * BATCH_PAGES + WRITE_PAGES;
+    let t = ice
+        .populate(Lpn::new(0), TEES * pages_per_tee, SimTime::ZERO)
+        .expect("population fits");
+    let mut tees = Vec::new();
+    for tee_idx in 0..TEES {
+        let base = tee_idx * pages_per_tee;
+        let lpns: Vec<Lpn> = (base..base + pages_per_tee).map(Lpn::new).collect();
+        let (tee, _) = ice.offload_code(64 << 10, &lpns, t).expect("offload");
+        tees.push((tee, lpns));
+    }
+    (ice, tees, t)
+}
+
+/// Runs one iteration of the fixed scenario: `ROUNDS` rounds of
+/// concurrent read + write tickets from both tenants, each round
+/// drained to idle. Returns the number of completions (checked against
+/// `PAGES_PER_ITER`) and the simulated finish time.
+fn scenario(ice: &mut IceClave, tees: &[(TeeId, Vec<Lpn>)], start: SimTime) -> (u64, SimTime) {
+    let read_pages = (READ_BATCHES * BATCH_PAGES) as usize;
+    let mut t = start;
+    let mut completions = 0u64;
+    for _ in 0..ROUNDS {
+        for (tee, lpns) in tees {
+            for batch in 0..READ_BATCHES as usize {
+                let chunk = &lpns[batch * BATCH_PAGES as usize..(batch + 1) * BATCH_PAGES as usize];
+                ice.submit_batch_async(*tee, chunk, t).expect("read batch");
+            }
+            let writes: Vec<PageWrite> = lpns[read_pages..]
+                .iter()
+                .map(|&lpn| PageWrite::new(lpn))
+                .collect();
+            ice.submit_write_batch_async_as(*tee, writes, t)
+                .expect("write batch");
+        }
+        for ev in ice.drain_completions() {
+            completions += 1;
+            t = t.max(ev.ready_at());
+        }
+    }
+    (completions, t)
+}
+
+fn bench_simspeed(c: &mut Criterion) {
+    let (mut ice, tees, t0) = setup();
+    let (completions, _) = scenario(&mut ice, &tees, t0);
+    assert_eq!(completions, PAGES_PER_ITER, "scenario retired every page");
+
+    // Wall-clock measurement for the JSON baseline: warm up, then time
+    // a fixed block of iterations with a plain monotonic clock (the
+    // criterion group below tracks the same path statistically).
+    let mut t = t0;
+    for _ in 0..3 {
+        t = scenario(&mut ice, &tees, t).1;
+    }
+    const SAMPLES: usize = 5;
+    const ITERS_PER_SAMPLE: u64 = 10;
+    let mut rates = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let begin = Instant::now();
+        for _ in 0..ITERS_PER_SAMPLE {
+            t = scenario(&mut ice, &tees, t).1;
+        }
+        let wall = begin.elapsed().as_secs_f64();
+        rates.push((ITERS_PER_SAMPLE * PAGES_PER_ITER) as f64 / wall);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    let pages_per_s = rates[SAMPLES / 2];
+    println!(
+        "simspeed 2tee interleaving: {PAGES_PER_ITER} simulated pages/iter, \
+         {pages_per_s:.0} simulated pages per wall-clock second (median of {SAMPLES})"
+    );
+    write_baseline(pages_per_s);
+
+    let mut group = c.benchmark_group("simspeed");
+    group.throughput(Throughput::Bytes(PAGES_PER_ITER * PAGE_SIZE));
+    group.bench_function("interleaving_2tee_16ch", |b| {
+        b.iter(|| {
+            let (n, finished) = scenario(&mut ice, &tees, t);
+            t = finished;
+            n
+        })
+    });
+    group.finish();
+
+    assert!(
+        pages_per_s >= FLOOR_PAGES_PER_S,
+        "simulator speed regressed: {pages_per_s:.0} pages/s is below the \
+         {FLOOR_PAGES_PER_S:.0} pages/s floor"
+    );
+}
+
+/// Writes the simulator-speed baseline as JSON (no serde in the
+/// offline workspace; the format is flat enough to emit by hand).
+fn write_baseline(pages_per_s: f64) {
+    let path =
+        std::env::var("BENCH_SIMSPEED_JSON").unwrap_or_else(|_| "BENCH_simspeed.json".to_string());
+    let json = format!(
+        "{{\n  \"scenario\": \"2tee_16ch_interleaving\",\n  \"tees\": {TEES},\n  \
+         \"read_batches_per_tee\": {READ_BATCHES},\n  \"batch_pages\": {BATCH_PAGES},\n  \
+         \"write_pages_per_tee\": {WRITE_PAGES},\n  \"rounds\": {ROUNDS},\n  \
+         \"channels\": {CHANNELS},\n  \"simulated_pages_per_iter\": {PAGES_PER_ITER},\n  \
+         \"simulated_pages_per_wall_s\": {pages_per_s:.0},\n  \
+         \"floor_pages_per_s\": {FLOOR_PAGES_PER_S:.0}\n}}\n"
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote simulator-speed baseline to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simspeed
+}
+criterion_main!(benches);

@@ -74,19 +74,33 @@ impl CipherEngine {
     /// returning the ciphertext and the IV used (the IV is public and
     /// travels with the data; the key never leaves the engine).
     pub fn encrypt_page(&mut self, ppa: u32, plain: &[u8]) -> (Vec<u8>, PageIv) {
-        let iv = self.iv_gen.iv_for_page(ppa);
         let mut data = plain.to_vec();
-        Trivium::new(&self.key, &iv.bytes()).apply_keystream(&mut data);
-        self.pages_encrypted += 1;
+        let iv = self.encrypt_page_in_place(ppa, &mut data);
         (data, iv)
+    }
+
+    /// Encrypts a page in place (for callers that already own the
+    /// buffer — a stream cipher needs no scratch copy), returning the
+    /// IV used.
+    pub fn encrypt_page_in_place(&mut self, ppa: u32, data: &mut [u8]) -> PageIv {
+        let iv = self.iv_gen.iv_for_page(ppa);
+        Trivium::new(&self.key, &iv.bytes()).apply_keystream(data);
+        self.pages_encrypted += 1;
+        iv
     }
 
     /// Decrypts a page previously ciphered with `iv`.
     pub fn decrypt_page(&mut self, iv: &PageIv, cipher: &[u8]) -> Vec<u8> {
         let mut data = cipher.to_vec();
-        Trivium::new(&self.key, &iv.bytes()).apply_keystream(&mut data);
-        self.pages_decrypted += 1;
+        self.decrypt_page_in_place(iv, &mut data);
         data
+    }
+
+    /// Decrypts a page in place (the XOR-keystream twin of
+    /// [`CipherEngine::encrypt_page_in_place`]).
+    pub fn decrypt_page_in_place(&mut self, iv: &PageIv, data: &mut [u8]) {
+        Trivium::new(&self.key, &iv.bytes()).apply_keystream(data);
+        self.pages_decrypted += 1;
     }
 
     /// Number of pages encrypted so far.

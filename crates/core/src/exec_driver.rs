@@ -14,13 +14,13 @@
 //!    fill slots, schedule one         MEE seal drain, schedule one
 //!    FlashRead per page at its        Encrypt per page at its seal
 //!    translation-ready time           read-out time
-//!  FlashRead: die + channel bus     Encrypt: cipher-lane timeline
-//!  Decrypt:   per-channel lane      Program: ONE event per batch —
-//!  Fill:      MEE fill + DRAM         the single secure-world entry
-//!    → completion (plaintext)         of `Ftl::write_batch`, fired
-//!                                     when the last ciphertext exists
-//!                                     → one completion per page at
-//!                                     its durable time
+//!  FlashRead: die + channel bus,    Encrypt: cipher-lane timeline
+//!    then the per-channel decrypt   Program: ONE event per batch —
+//!    lane (inline: the lane only      the single secure-world entry
+//!    sees its own channel's bus       of `Ftl::write_batch`, fired
+//!    order)                           when the last ciphertext exists
+//!  Fill:      MEE fill + DRAM         → one completion per page at
+//!    → completion (plaintext)         its durable time
 //! ```
 //!
 //! Because every stage acquires its resource at the simulated time the
@@ -30,9 +30,7 @@
 //! have no ordering guarantees between each other — drain a ticket
 //! before submitting work that depends on it).
 
-use std::collections::HashMap;
-
-use iceclave_cipher::{CipherEngine, PageIv};
+use iceclave_cipher::CipherEngine;
 use iceclave_exec::{Executor, StageEvent, StageMachine};
 use iceclave_ftl::{FtlError, Requestor, SchedPolicy, WfqArbiter};
 use iceclave_isc::SsdPlatform;
@@ -46,15 +44,17 @@ use iceclave_types::{
 
 use crate::config::IceClaveConfig;
 use crate::runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats};
+use crate::slab::{ErrorSlab, IvTable, JobTable};
 
 /// One pipeline stage of an in-flight page (the executor's event
 /// payload).
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum Stage {
-    /// Read path: die cell read + channel bus transfer.
+    /// Read path: die cell read + channel bus transfer, then the
+    /// per-channel stream-decipher lane (advanced inline — the lane is
+    /// fed only by its channel bus, so flash-completion order is its
+    /// arrival order and no separate event is needed).
     FlashRead,
-    /// Read path: per-channel stream-decipher lane.
-    Decrypt,
     /// Read path: MEE fill into the TEE's input ring (retires the
     /// page).
     Fill,
@@ -114,6 +114,22 @@ pub struct Job {
     pending_encrypts: usize,
 }
 
+impl Job {
+    /// A minimal zero-page job for the slab unit tests.
+    #[cfg(test)]
+    pub(crate) fn stub(tee: TeeId, kind: TicketKind, submitted: SimTime) -> Self {
+        Job {
+            tee,
+            kind,
+            submitted,
+            pages: Vec::new(),
+            sealed: Vec::new(),
+            encrypted: Vec::new(),
+            pending_encrypts: 0,
+        }
+    }
+}
+
 /// Disjoint borrows of every runtime component a stage can touch —
 /// the [`StageMachine`] the executor drives.
 pub(crate) struct StageCtx<'a> {
@@ -121,11 +137,11 @@ pub(crate) struct StageCtx<'a> {
     pub mee: &'a mut MeeEngine,
     pub cipher: &'a mut CipherEngine,
     pub cipher_lanes: &'a mut [Pipeline],
-    pub page_ivs: &'a mut HashMap<u64, PageIv>,
+    pub page_ivs: &'a mut IvTable,
     pub config: &'a IceClaveConfig,
     pub stats: &'a mut RuntimeStats,
-    pub jobs: &'a mut HashMap<u64, Job>,
-    pub failed: &'a mut HashMap<u64, IceClaveError>,
+    pub jobs: &'a mut JobTable,
+    pub failed: &'a mut ErrorSlab,
     pub arbiter: &'a mut WfqArbiter,
 }
 
@@ -159,22 +175,22 @@ fn kick_channel(
 fn decipher_content(
     platform: &SsdPlatform,
     cipher: &mut CipherEngine,
-    page_ivs: &HashMap<u64, PageIv>,
+    page_ivs: &IvTable,
     cipher_enabled: bool,
     lpn: Lpn,
     ppn: Ppn,
 ) -> Option<Vec<u8>> {
-    let stored = platform.ftl.flash().read_data(ppn)?.to_vec();
-    if !cipher_enabled {
-        return Some(stored);
-    }
-    match page_ivs.get(&lpn.raw()) {
-        Some(iv) => {
+    // One allocation per page: the snapshot buffer is deciphered in
+    // place and then owned by the job until the Fill stage hands it to
+    // the completion event.
+    let mut stored = platform.ftl.flash().read_data(ppn)?.to_vec();
+    if cipher_enabled {
+        if let Some(iv) = page_ivs.get(lpn.raw()) {
             let iv = *iv;
-            Some(cipher.decrypt_page(&iv, &stored))
+            cipher.decrypt_page_in_place(&iv, &mut stored);
         }
-        None => Some(stored),
     }
+    Some(stored)
 }
 
 impl StageCtx<'_> {
@@ -188,8 +204,8 @@ impl StageCtx<'_> {
         at: SimTime,
         error: IceClaveError,
     ) {
-        self.failed.entry(ticket.raw()).or_insert(error);
-        let Some(job) = self.jobs.get_mut(&ticket.raw()) else {
+        self.failed.record(ticket.raw(), error);
+        let Some(job) = self.jobs.get_mut(ticket.raw()) else {
             return;
         };
         let state = &mut job.pages[page as usize];
@@ -206,7 +222,7 @@ impl StageCtx<'_> {
             data: None,
         };
         if exec.push_completion(event) {
-            self.jobs.remove(&ticket.raw());
+            self.jobs.remove(ticket.raw());
         }
     }
 
@@ -215,7 +231,7 @@ impl StageCtx<'_> {
     /// channel steering and coalesced CMT write-back — all inside
     /// [`iceclave_ftl::Ftl::write_batch`].
     fn program_batch(&mut self, ev: StageEvent<Stage>, exec: &mut Executor<Stage>) {
-        let Some(job) = self.jobs.get_mut(&ev.ticket.raw()) else {
+        let Some(job) = self.jobs.get_mut(ev.ticket.raw()) else {
             return;
         };
         let batch = WriteBatchRequest {
@@ -257,21 +273,20 @@ impl StageCtx<'_> {
         // page; the IV rides in the per-LPN out-of-band store so GC
         // relocation cannot orphan it.
         for (page, out) in job.pages.iter_mut().zip(&outcome.pages) {
-            if let Some(plaintext) = page.payload.take() {
+            if let Some(mut plaintext) = page.payload.take() {
+                // The payload buffer was moved in at submission and is
+                // ciphered in place — the write path's last copy is
+                // the flash store itself.
                 if self.config.cipher_enabled {
-                    let (ciphertext, iv) =
-                        self.cipher.encrypt_page(page.lpn.raw() as u32, &plaintext);
-                    self.platform
-                        .ftl
-                        .flash_mut()
-                        .write_data(out.ppn, &ciphertext);
+                    let iv = self
+                        .cipher
+                        .encrypt_page_in_place(page.lpn.raw() as u32, &mut plaintext);
                     self.page_ivs.insert(page.lpn.raw(), iv);
-                } else {
-                    self.platform
-                        .ftl
-                        .flash_mut()
-                        .write_data(out.ppn, &plaintext);
                 }
+                self.platform
+                    .ftl
+                    .flash_mut()
+                    .write_data(out.ppn, &plaintext);
             }
         }
         self.stats.pages_stored += job.pages.len() as u64;
@@ -310,7 +325,7 @@ impl StageCtx<'_> {
             });
         }
         if closed {
-            self.jobs.remove(&ev.ticket.raw());
+            self.jobs.remove(ev.ticket.raw());
         }
     }
 }
@@ -323,7 +338,7 @@ impl StageMachine for StageCtx<'_> {
             self.program_batch(ev, exec);
             return;
         }
-        let Some(job) = self.jobs.get_mut(&ev.ticket.raw()) else {
+        let Some(job) = self.jobs.get_mut(ev.ticket.raw()) else {
             // A cancelled ticket's stage events are no-ops — but a
             // granted flash read still holds its channel in the WFQ
             // arbiter; free it so the next tenant's grant can issue.
@@ -370,14 +385,26 @@ impl StageMachine for StageCtx<'_> {
                 }
                 match self.platform.ftl.flash_mut().read_page(ppn, arrival) {
                     Ok(span) => {
+                        // The decrypt lane is advanced inline rather
+                        // than via its own event: a lane serves only
+                        // its channel, the channel bus serializes the
+                        // flash spans feeding it, and successive
+                        // `acquire` calls on one resource end at
+                        // strictly increasing times — so processing
+                        // here, in flash-completion order, is
+                        // timing-identical to popping a Decrypt event
+                        // at `span.end`, one event round-trip cheaper.
+                        let cipher_done = if self.config.cipher_enabled {
+                            let service = self.cipher.page_latency(PAGE_SIZE);
+                            let lane = job.pages[idx].lane;
+                            self.cipher_lanes[lane].process(span.end, service).end
+                        } else {
+                            span.end
+                        };
                         let page = &mut job.pages[idx];
                         page.breakdown.flash_done = span.end;
-                        if self.config.cipher_enabled {
-                            exec.schedule(span.end, ev.ticket, ev.page, Stage::Decrypt);
-                        } else {
-                            page.breakdown.cipher_done = span.end;
-                            exec.schedule(span.end, ev.ticket, ev.page, Stage::Fill);
-                        }
+                        page.breakdown.cipher_done = cipher_done;
+                        exec.schedule(cipher_done, ev.ticket, ev.page, Stage::Fill);
                         // WFQ preemption point: this page's flash
                         // service ends at span.end — only now does the
                         // arbiter decide which tenant's page gets the
@@ -404,13 +431,6 @@ impl StageMachine for StageCtx<'_> {
                         self.fail_page(exec, ev.ticket, ev.page, ev.at, FtlError::from(e).into())
                     }
                 }
-            }
-            Stage::Decrypt => {
-                let service = self.cipher.page_latency(PAGE_SIZE);
-                let page = &mut job.pages[idx];
-                let span = self.cipher_lanes[page.lane].process(ev.at, service);
-                page.breakdown.cipher_done = span.end;
-                exec.schedule(span.end, ev.ticket, ev.page, Stage::Fill);
             }
             Stage::Fill => {
                 let (slot, class) = {
@@ -443,7 +463,7 @@ impl StageMachine for StageCtx<'_> {
                     breakdown,
                     data,
                 }) {
-                    self.jobs.remove(&ev.ticket.raw());
+                    self.jobs.remove(ev.ticket.raw());
                 }
             }
             Stage::Encrypt => {
@@ -729,7 +749,7 @@ impl IceClave {
         now: SimTime,
     ) -> Result<Ticket, IceClaveError> {
         let writes: Vec<PageWrite> = lpns.iter().copied().map(PageWrite::new).collect();
-        self.submit_write_batch_async_as(tee, &writes, now)
+        self.submit_write_batch_async_as(tee, writes, now)
     }
 
     /// The non-blocking protected write path: ownership-checks the
@@ -742,13 +762,17 @@ impl IceClave {
     /// everything the executor interleaved meanwhile. Each page retires
     /// into the completion queue at its durable time.
     ///
+    /// The batch is taken by value so each page's functional payload
+    /// ([`PageWrite::data`]) moves into the in-flight job unchanged —
+    /// no copy is made between submission and the flash store.
+    ///
     /// # Errors
     ///
     /// As [`IceClave::submit_batch_async_as`].
     pub fn submit_write_batch_async_as(
         &mut self,
         tee: TeeId,
-        writes: &[PageWrite],
+        writes: Vec<PageWrite>,
         now: SimTime,
     ) -> Result<Ticket, IceClaveError> {
         self.ensure_running(tee)?;
@@ -791,10 +815,11 @@ impl IceClave {
         let sealed = self.mee.seal_pages(&mut self.platform.dram, &seals);
 
         // The target channel is unknown until the FTL allocates, so
-        // outbound pages go to the cipher lanes round-robin.
+        // outbound pages go to the cipher lanes round-robin. Payloads
+        // move out of the request into the job.
         let lanes = self.cipher_lanes.len().max(1);
         let pages: Vec<PageState> = writes
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(i, write)| {
                 let mut breakdown = LatencyBreakdown::at_submission(now);
@@ -806,22 +831,21 @@ impl IceClave {
                     slot: 0,
                     class: PageClass::Writable,
                     breakdown,
-                    payload: write.data.clone(),
+                    payload: write.data,
                     retired: false,
                     next_same_channel: None,
                 }
             })
             .collect();
 
-        let ticket = self
-            .exec
-            .open_ticket(TicketKind::Write, writes.len() as u32, now);
+        let count = pages.len();
+        let ticket = self.exec.open_ticket(TicketKind::Write, count as u32, now);
         let (encrypted, pending_encrypts) = if self.config.cipher_enabled {
             for (index, span) in sealed.iter().enumerate() {
                 self.exec
                     .schedule(span.data_out, ticket, index as u32, Stage::Encrypt);
             }
-            (vec![now; writes.len()], writes.len())
+            (vec![now; count], count)
         } else {
             // No cipher stage: the program phase fires when the last
             // seal read-out completes (virtual-time tagged under WFQ,
@@ -902,15 +926,9 @@ impl IceClave {
     /// [`IceClave::take_ticket_error`], and the error map stays bounded
     /// across long runs.
     fn sweep_stale_errors(&mut self) {
-        let stale: Vec<u64> = self
-            .failed
-            .keys()
-            .copied()
-            .filter(|&raw| self.exec.issued_at(Ticket::new(raw)).is_none())
-            .collect();
-        for raw in stale {
-            self.failed.remove(&raw);
-        }
+        let exec = &self.exec;
+        self.failed
+            .retain(|raw| exec.issued_at(Ticket::new(raw)).is_some());
     }
 
     /// Number of tickets with pages still in flight.
@@ -926,7 +944,7 @@ impl IceClave {
 
     /// The error that failed `ticket` mid-flight, if any (consumed).
     pub fn take_ticket_error(&mut self, ticket: Ticket) -> Option<IceClaveError> {
-        self.failed.remove(&ticket.raw())
+        self.failed.remove(ticket.raw())
     }
 
     /// Fails every in-flight ticket of `tee` at `now` (TEE teardown):
@@ -935,13 +953,14 @@ impl IceClave {
     /// Stage events still on the heap become no-ops, so nothing can
     /// touch the TEE's recycled region or identifier afterward.
     pub(crate) fn cancel_tickets_of(&mut self, tee: TeeId, now: SimTime) {
-        let mut tickets: Vec<u64> = self
+        // The job slab iterates in ascending ticket-id order, so the
+        // cancellation order is deterministic by construction.
+        let tickets: Vec<u64> = self
             .jobs
             .iter()
             .filter(|(_, job)| job.tee == tee)
-            .map(|(&raw, _)| raw)
+            .map(|(raw, _)| raw)
             .collect();
-        tickets.sort_unstable(); // HashMap order must not leak anywhere
         for raw in tickets {
             let ticket = Ticket::new(raw);
             // Purge the dead ticket's queued pages from the channel
@@ -950,10 +969,8 @@ impl IceClave {
             for channel in self.arbiter.cancel_ticket(ticket) {
                 kick_channel(&mut self.arbiter, &mut self.exec, channel, now);
             }
-            self.failed
-                .entry(raw)
-                .or_insert(IceClaveError::NotRunning(tee));
-            let mut job = self.jobs.remove(&raw).expect("ticket was just listed");
+            self.failed.record(raw, IceClaveError::NotRunning(tee));
+            let mut job = self.jobs.remove(raw).expect("ticket was just listed");
             for (index, page) in job.pages.iter_mut().enumerate() {
                 if page.retired {
                     continue;
@@ -992,7 +1009,7 @@ impl IceClave {
         let Some(issued) = self.exec.issued_at(ticket) else {
             return Err(self
                 .failed
-                .remove(&ticket.raw())
+                .remove(ticket.raw())
                 .unwrap_or(IceClaveError::UnknownTicket(ticket)));
         };
         if self.exec.drained_of(ticket).unwrap_or(0) > 0 {
@@ -1005,7 +1022,7 @@ impl IceClave {
         self.drive(|exec, ctx| exec.run_ticket(ctx, ticket));
         let finished = self.exec.finished_at(ticket).unwrap_or(issued);
         let mut events = self.exec.take_ticket_completions(ticket);
-        if let Some(error) = self.failed.remove(&ticket.raw()) {
+        if let Some(error) = self.failed.remove(ticket.raw()) {
             return Err(error);
         }
         events.sort_by_key(|e| e.index);

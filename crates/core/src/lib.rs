@@ -55,6 +55,7 @@ pub mod config;
 pub mod exec_driver;
 pub mod host;
 pub mod runtime;
+mod slab;
 
 pub use config::{FairnessConfig, IceClaveConfig};
 pub use exec_driver::Stage;

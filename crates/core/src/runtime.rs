@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use iceclave_cipher::{CipherEngine, PageIv};
+use iceclave_cipher::CipherEngine;
 use iceclave_cpu::OpCounts;
 use iceclave_ftl::{FtlError, Requestor};
 use iceclave_isc::SsdPlatform;
@@ -202,7 +202,7 @@ pub struct IceClave {
     /// stand-in for the IV metadata the controller keeps in the
     /// out-of-band area). Keyed by LPN so GC relocation cannot orphan
     /// them.
-    pub(crate) page_ivs: HashMap<u64, PageIv>,
+    pub(crate) page_ivs: crate::slab::IvTable,
     memory_map: MemoryMap,
     pub(crate) config: IceClaveConfig,
     pub(crate) tees: HashMap<u8, TeeState>,
@@ -214,10 +214,10 @@ pub struct IceClave {
     /// submission API (and, via the thin blocking wrappers, behind
     /// `submit_batch`/`submit_write_batch` too).
     pub(crate) exec: iceclave_exec::Executor<crate::exec_driver::Stage>,
-    /// Per-ticket in-flight pipeline state.
-    pub(crate) jobs: HashMap<u64, crate::exec_driver::Job>,
+    /// Per-ticket in-flight pipeline state, slab-indexed by ticket id.
+    pub(crate) jobs: crate::slab::JobTable,
     /// Ticket-level errors of batches that failed mid-flight.
-    pub(crate) failed: HashMap<u64, IceClaveError>,
+    pub(crate) failed: crate::slab::ErrorSlab,
     /// The weighted-fair-queueing channel arbiter across TEEs
     /// (Figures 17/18): read pages queue in per-tenant lanes per
     /// channel and are granted in virtual-time order, one page at a
@@ -277,7 +277,7 @@ impl IceClave {
             cipher_lanes: (0..config.platform.flash.geometry.channels)
                 .map(|i| Pipeline::new(format!("cipher-engine{i}")))
                 .collect(),
-            page_ivs: HashMap::new(),
+            page_ivs: crate::slab::IvTable::new(),
             memory_map,
             config,
             tees: HashMap::new(),
@@ -286,8 +286,8 @@ impl IceClave {
             free_regions,
             stats: RuntimeStats::default(),
             exec: iceclave_exec::Executor::new(),
-            jobs: HashMap::new(),
-            failed: HashMap::new(),
+            jobs: crate::slab::JobTable::new(),
+            failed: crate::slab::ErrorSlab::new(),
             arbiter,
         }
     }
@@ -571,7 +571,7 @@ impl IceClave {
         now: SimTime,
     ) -> Result<WriteBatchCompletion, IceClaveError> {
         let writes: Vec<PageWrite> = lpns.iter().copied().map(PageWrite::new).collect();
-        self.submit_write_batch_as(tee, &writes, now)
+        self.submit_write_batch_as(tee, writes, now)
     }
 
     /// The batched protected write path — the program-side mirror of
@@ -616,7 +616,7 @@ impl IceClave {
     pub fn submit_write_batch_as(
         &mut self,
         tee: TeeId,
-        writes: &[PageWrite],
+        writes: Vec<PageWrite>,
         now: SimTime,
     ) -> Result<WriteBatchCompletion, IceClaveError> {
         // Thin wrapper over the event-driven executor: submit one
@@ -1075,7 +1075,7 @@ mod tests {
         let writes: Vec<PageWrite> = (0..4u64)
             .map(|i| PageWrite::with_data(Lpn::new(i), vec![i as u8 ^ 0x5A; 4096]))
             .collect();
-        let done = ice.submit_write_batch_as(tee, &writes, t).unwrap();
+        let done = ice.submit_write_batch_as(tee, writes, t).unwrap();
         assert_eq!(done.len(), 4);
         assert!(done.finished > t);
         assert_eq!(ice.stats().pages_stored, 4);

@@ -144,7 +144,7 @@ impl DramConfig {
 }
 
 /// Latency/traffic statistics for the DRAM model.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Eq, PartialEq, Debug, Default)]
 pub struct DramStats {
     /// Cache-line reads served.
     pub reads: u64,
@@ -202,10 +202,87 @@ struct Bank {
     last_was_write: bool,
 }
 
+/// Command durations precomputed at construction so the per-access path
+/// never re-derives them through `Hertz::cycles` (a 128-bit division).
+/// Each field caches `clock.cycles(n)` for exactly the cycle count `n`
+/// the access path would otherwise pass, so timings are bit-identical.
+#[derive(Copy, Clone, Debug)]
+struct Timing {
+    /// Bank occupancy of a row-buffer hit (`burst_cycles`).
+    occ_hit: SimDuration,
+    /// Bank occupancy of a conflict (`t_rp + t_rcd + burst_cycles`).
+    occ_conflict: SimDuration,
+    /// Conflict occupancy plus write recovery (`… + t_wr`).
+    occ_conflict_wr: SimDuration,
+    /// Bank occupancy of a closed-row miss (`t_rcd + burst_cycles`).
+    occ_closed: SimDuration,
+    /// Activate-to-precharge minimum.
+    t_ras: SimDuration,
+    /// CAS latency.
+    t_cl: SimDuration,
+    /// Data-bus burst occupancy.
+    burst: SimDuration,
+    /// Refresh interval in picoseconds.
+    refi_ps: u64,
+    /// Refresh cycle time in picoseconds.
+    rfc_ps: u64,
+}
+
+impl Timing {
+    fn new(c: &DramConfig) -> Self {
+        let clock = c.clock;
+        Timing {
+            occ_hit: clock.cycles(c.burst_cycles.into()),
+            occ_conflict: clock.cycles(u64::from(c.t_rp + c.t_rcd + c.burst_cycles)),
+            occ_conflict_wr: clock.cycles(u64::from(c.t_rp + c.t_rcd + c.burst_cycles + c.t_wr)),
+            occ_closed: clock.cycles(u64::from(c.t_rcd + c.burst_cycles)),
+            t_ras: clock.cycles(c.t_ras.into()),
+            t_cl: clock.cycles(c.t_cl.into()),
+            burst: clock.cycles(c.burst_cycles.into()),
+            refi_ps: clock.cycles(c.t_refi.into()).as_ps(),
+            rfc_ps: clock.cycles(c.t_rfc.into()).as_ps(),
+        }
+    }
+}
+
+/// Shift/mask address decomposition for power-of-two geometries; the
+/// general divide/modulo path stays as the fallback for odd configs.
+#[derive(Copy, Clone, Debug)]
+struct MapShifts {
+    ch_mask: u64,
+    ch_shift: u32,
+    bank_mask: u64,
+    bank_shift: u32,
+    rank_mask: u64,
+    rank_shift: u32,
+    row_shift: u32,
+}
+
+impl MapShifts {
+    fn new(c: &DramConfig) -> Option<Self> {
+        let log2 = |v: u64| (v.is_power_of_two()).then(|| v.trailing_zeros());
+        let ch_shift = log2(u64::from(c.channels))?;
+        let bank_shift = log2(u64::from(c.banks_per_rank))?;
+        let rank_shift = log2(u64::from(c.ranks_per_channel))?;
+        let row_shift = log2(c.lines_per_row())?;
+        Some(MapShifts {
+            ch_mask: u64::from(c.channels) - 1,
+            ch_shift,
+            bank_mask: u64::from(c.banks_per_rank) - 1,
+            bank_shift,
+            rank_mask: u64::from(c.ranks_per_channel) - 1,
+            rank_shift,
+            row_shift,
+        })
+    }
+}
+
 /// The DRAM device model.
 #[derive(Debug)]
 pub struct Dram {
     config: DramConfig,
+    timing: Timing,
+    shifts: Option<MapShifts>,
     banks: Vec<Bank>,
     buses: Vec<Resource>,
     stats: DramStats,
@@ -226,6 +303,8 @@ impl Dram {
             .map(|i| Resource::new(format!("dram-bus{i}")))
             .collect();
         Dram {
+            timing: Timing::new(&config),
+            shifts: MapShifts::new(&config),
             config,
             banks,
             buses,
@@ -242,36 +321,26 @@ impl Dram {
     /// when the data burst completes on the bus).
     pub fn access(&mut self, line: CacheLine, op: MemOp, arrival: SimTime) -> ServiceSpan {
         let (channel, bank_idx, row) = self.map(line);
-        let clock = self.config.clock;
+        let timing = self.timing;
 
         // Bank *occupancy* covers only the commands that keep the bank
         // busy (activate/precharge and the CAS slot); the CAS-to-data
         // latency (tCL) is pipelined, so back-to-back row hits stream at
         // the burst rate while each access still sees tCL of latency.
-        let (outcome, occupancy_cycles) = {
+        let (outcome, occupancy) = {
             let bank = &self.banks[bank_idx];
             match bank.open_row {
-                Some(open) if open == row => (RowOutcome::Hit, u64::from(self.config.burst_cycles)),
-                Some(_) => {
-                    let mut cycles =
-                        u64::from(self.config.t_rp + self.config.t_rcd + self.config.burst_cycles);
-                    if bank.last_was_write {
-                        cycles += u64::from(self.config.t_wr);
-                    }
-                    (RowOutcome::Conflict, cycles)
-                }
-                None => (
-                    RowOutcome::ClosedMiss,
-                    u64::from(self.config.t_rcd + self.config.burst_cycles),
-                ),
+                Some(open) if open == row => (RowOutcome::Hit, timing.occ_hit),
+                Some(_) if bank.last_was_write => (RowOutcome::Conflict, timing.occ_conflict_wr),
+                Some(_) => (RowOutcome::Conflict, timing.occ_conflict),
+                None => (RowOutcome::ClosedMiss, timing.occ_closed),
             }
         };
 
         // On a conflict the precharge may additionally wait for tRAS since
         // the previous activate.
         let mut earliest_start = if outcome == RowOutcome::Conflict {
-            let ras_done =
-                self.banks[bank_idx].last_activate + clock.cycles(self.config.t_ras.into());
+            let ras_done = self.banks[bank_idx].last_activate + timing.t_ras;
             arrival.max(ras_done)
         } else {
             arrival
@@ -279,26 +348,18 @@ impl Dram {
         // Periodic refresh: commands issued while the rank refreshes
         // wait for the refresh cycle to complete.
         if self.config.refresh_enabled {
-            let refi_ps = clock.cycles(self.config.t_refi.into()).as_ps();
-            let rfc_ps = clock.cycles(self.config.t_rfc.into()).as_ps();
-            let into_window = earliest_start.as_ps() % refi_ps;
-            if into_window < rfc_ps {
-                earliest_start = earliest_start + clock.cycles(0) // no-op for type clarity
-                    + iceclave_types::SimDuration::from_ps(rfc_ps - into_window);
+            let into_window = earliest_start.as_ps() % timing.refi_ps;
+            if into_window < timing.rfc_ps {
+                earliest_start += SimDuration::from_ps(timing.rfc_ps - into_window);
                 self.stats.refresh_stalls += 1;
             }
         }
 
-        let command = self.banks[bank_idx]
-            .busy
-            .acquire(earliest_start, clock.cycles(occupancy_cycles));
+        let command = self.banks[bank_idx].busy.acquire(earliest_start, occupancy);
         // Data appears tCL after the column command and occupies the
         // shared data bus for the burst.
-        let burst = self.buses[channel as usize].acquire(
-            command.end + clock.cycles(self.config.t_cl.into())
-                - clock.cycles(self.config.burst_cycles.into()),
-            clock.cycles(self.config.burst_cycles.into()),
-        );
+        let burst = self.buses[channel as usize]
+            .acquire(command.end + timing.t_cl - timing.burst, timing.burst);
 
         let bank = &mut self.banks[bank_idx];
         if outcome != RowOutcome::Hit {
@@ -334,14 +395,102 @@ impl Dram {
         op: MemOp,
         arrival: SimTime,
     ) -> SimTime {
-        let mut t = arrival;
-        for i in 0..count {
-            t = self
-                .access(CacheLine::new(line.raw() + i), op, arrival)
-                .end
-                .max(t);
+        // The streaming runs of the page fill/seal paths dominate the
+        // simulator's wall-clock profile, so the common case (power-of-
+        // two geometry, no refresh) runs a specialized loop with the
+        // timing constants hoisted and statistics batched into locals.
+        // `run_equals_access_loop` pins it to the general path.
+        let (Some(s), false) = (self.shifts, self.config.refresh_enabled) else {
+            let mut t = arrival;
+            for i in 0..count {
+                t = self
+                    .access(CacheLine::new(line.raw() + i), op, arrival)
+                    .end
+                    .max(t);
+            }
+            return t;
+        };
+        let timing = self.timing;
+        let is_write = op == MemOp::Write;
+        // The per-channel data buses form independent acquire chains;
+        // keep each chain's frontier in a stack slot and commit the
+        // aggregate back to the `Resource` once after the loop.
+        const MAX_LOCAL_CH: usize = 64;
+        let nch = self.buses.len();
+        if nch > MAX_LOCAL_CH {
+            let mut t = arrival;
+            for i in 0..count {
+                t = self
+                    .access(CacheLine::new(line.raw() + i), op, arrival)
+                    .end
+                    .max(t);
+            }
+            return t;
         }
-        t
+        let mut bus_free = [SimTime::ZERO; MAX_LOCAL_CH];
+        let mut bus_ops = [0u64; MAX_LOCAL_CH];
+        for (c, bus) in self.buses.iter().enumerate() {
+            bus_free[c] = bus.next_free();
+        }
+        let mut done = arrival;
+        let (mut hits, mut closed, mut conflicts) = (0u64, 0u64, 0u64);
+        let mut total = SimDuration::ZERO;
+        for i in 0..count {
+            let x = line.raw() + i;
+            let channel = (x & s.ch_mask) as usize;
+            let y = x >> s.ch_shift;
+            let bank_lo = y & s.bank_mask;
+            let rank = (y >> s.bank_shift) & s.rank_mask;
+            let row = ((y >> s.bank_shift) >> s.rank_shift) >> s.row_shift;
+            let bank_idx =
+                (((((x & s.ch_mask) << s.rank_shift) + rank) << s.bank_shift) + bank_lo) as usize;
+            let bank = &mut self.banks[bank_idx];
+            let (hit, occupancy, earliest) = match bank.open_row {
+                Some(open) if open == row => {
+                    hits += 1;
+                    (true, timing.occ_hit, arrival)
+                }
+                Some(_) => {
+                    conflicts += 1;
+                    let occ = if bank.last_was_write {
+                        timing.occ_conflict_wr
+                    } else {
+                        timing.occ_conflict
+                    };
+                    (false, occ, arrival.max(bank.last_activate + timing.t_ras))
+                }
+                None => {
+                    closed += 1;
+                    (false, timing.occ_closed, arrival)
+                }
+            };
+            let command = bank.busy.acquire(earliest, occupancy);
+            if !hit {
+                bank.last_activate = command.start;
+            }
+            bank.open_row = Some(row);
+            bank.last_was_write = is_write;
+            let burst_start = (command.end + timing.t_cl - timing.burst).max(bus_free[channel]);
+            let burst_end = burst_start + timing.burst;
+            bus_free[channel] = burst_end;
+            bus_ops[channel] += 1;
+            total += burst_end.saturating_since(arrival);
+            done = done.max(burst_end);
+        }
+        for (c, bus) in self.buses.iter_mut().enumerate() {
+            if bus_ops[c] > 0 {
+                bus.commit_run(bus_free[c], timing.burst * bus_ops[c], bus_ops[c]);
+            }
+        }
+        self.stats.row_hits += hits;
+        self.stats.row_closed_misses += closed;
+        self.stats.row_conflicts += conflicts;
+        match op {
+            MemOp::Read => self.stats.reads += count,
+            MemOp::Write => self.stats.writes += count,
+        }
+        self.stats.total_latency += total;
+        done
     }
 
     /// Serves a set of independent cache-line accesses that all become
@@ -405,6 +554,20 @@ impl Dram {
     /// different columns once the channel/bank bits wrap.
     fn map(&self, line: CacheLine) -> (u32, usize, u64) {
         let c = &self.config;
+        if let Some(s) = self.shifts {
+            // Power-of-two geometry (every stock config): the chained
+            // divides reduce to shifts and masks.
+            let x = line.raw();
+            let channel = (x & s.ch_mask) as u32;
+            let x = x >> s.ch_shift;
+            let bank = x & s.bank_mask;
+            let x = x >> s.bank_shift;
+            let rank = x & s.rank_mask;
+            let x = x >> s.rank_shift;
+            let row = x >> s.row_shift;
+            let flat_bank = ((u64::from(channel) << s.rank_shift) + rank) << s.bank_shift;
+            return (channel, (flat_bank + bank) as usize, row);
+        }
         let mut x = line.raw();
         let channel = (x % u64::from(c.channels)) as u32;
         x /= u64::from(c.channels);
@@ -498,6 +661,37 @@ mod tests {
         assert!(t > SimTime::ZERO);
         assert_eq!(d.stats().reads, 8);
         assert_eq!(d.stats().bytes(), 8 * 64);
+    }
+
+    #[test]
+    fn run_equals_access_loop() {
+        // The specialized streaming loop must be indistinguishable from
+        // per-line `access` calls: same completion times, same stats,
+        // same bank state afterwards (probed by the final run).
+        let mut fast = dram();
+        let mut slow = dram();
+        let mut t_fast = SimTime::ZERO;
+        let mut t_slow = SimTime::ZERO;
+        let runs = [
+            (0u64, 64u64, MemOp::Write),
+            (64, 64, MemOp::Read),
+            (17, 5, MemOp::Write),
+            (64, 64, MemOp::Write),
+            (4096, 64, MemOp::Read),
+            (0, 64, MemOp::Read),
+        ];
+        for (base, count, op) in runs {
+            t_fast = fast.access_run(CacheLine::new(base), count, op, t_fast);
+            let arrival = t_slow;
+            for i in 0..count {
+                t_slow = slow
+                    .access(CacheLine::new(base + i), op, arrival)
+                    .end
+                    .max(t_slow);
+            }
+            assert_eq!(t_fast, t_slow);
+        }
+        assert_eq!(fast.stats(), slow.stats());
     }
 
     #[test]

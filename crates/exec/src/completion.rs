@@ -58,6 +58,10 @@ pub const DRAIN_ORDER_CONTRACT: &str = "Completions drain in ascending ready tim
 #[derive(Debug, Default)]
 pub struct CompletionQueue {
     pending: Vec<CompletionEvent>,
+    /// Reusable partition buffer: holds the kept (not-yet-due) events
+    /// during a drain, then swaps with `pending`, so steady-state
+    /// polling allocates nothing beyond the returned batch.
+    scratch: Vec<CompletionEvent>,
 }
 
 impl CompletionQueue {
@@ -65,6 +69,7 @@ impl CompletionQueue {
     pub fn new() -> Self {
         CompletionQueue {
             pending: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -83,28 +88,52 @@ impl CompletionQueue {
         self.pending.is_empty()
     }
 
+    /// Extracts every event matching `take` in the documented sorted
+    /// order, keeping the rest queued. Early-returns an unallocated
+    /// `Vec` when nothing matches; when everything matches, the whole
+    /// buffer moves out wholesale. Mixed drains partition through the
+    /// reusable `scratch` buffer instead of building two fresh `Vec`s.
+    fn extract(&mut self, mut take: impl FnMut(&CompletionEvent) -> bool) -> Vec<CompletionEvent> {
+        let mut matching = 0;
+        for ev in &self.pending {
+            if take(ev) {
+                matching += 1;
+            }
+        }
+        if matching == 0 {
+            return Vec::new();
+        }
+        let mut out = if matching == self.pending.len() {
+            std::mem::take(&mut self.pending)
+        } else {
+            let mut due = Vec::with_capacity(matching);
+            self.scratch.clear();
+            self.scratch.reserve(self.pending.len() - matching);
+            for ev in self.pending.drain(..) {
+                if take(&ev) {
+                    due.push(ev);
+                } else {
+                    self.scratch.push(ev);
+                }
+            }
+            std::mem::swap(&mut self.pending, &mut self.scratch);
+            due
+        };
+        Self::sort(&mut out);
+        out
+    }
+
     /// Drains every completion ready at or before `now`, in the
     /// documented *(ready, ticket id, page index)* order. Later
     /// completions stay queued.
     pub fn drain_due(&mut self, now: SimTime) -> Vec<CompletionEvent> {
-        let mut due: Vec<CompletionEvent> = Vec::new();
-        let mut keep: Vec<CompletionEvent> = Vec::new();
-        for ev in self.pending.drain(..) {
-            if ev.ready_at() <= now {
-                due.push(ev);
-            } else {
-                keep.push(ev);
-            }
-        }
-        self.pending = keep;
-        Self::sort(&mut due);
-        due
+        self.extract(|e| e.ready_at() <= now)
     }
 
     /// Drains every queued completion regardless of ready time, in the
     /// documented *(ready, ticket id, page index)* order.
     pub fn drain_all(&mut self) -> Vec<CompletionEvent> {
-        let mut all: Vec<CompletionEvent> = self.pending.drain(..).collect();
+        let mut all = std::mem::take(&mut self.pending);
         Self::sort(&mut all);
         all
     }
@@ -113,18 +142,7 @@ impl CompletionQueue {
     /// by *(ready, page index)* — used by the blocking wrappers to
     /// drain exactly their own batch.
     pub fn take_ticket(&mut self, ticket: Ticket) -> Vec<CompletionEvent> {
-        let mut taken: Vec<CompletionEvent> = Vec::new();
-        let mut keep: Vec<CompletionEvent> = Vec::new();
-        for ev in self.pending.drain(..) {
-            if ev.ticket == ticket {
-                taken.push(ev);
-            } else {
-                keep.push(ev);
-            }
-        }
-        self.pending = keep;
-        Self::sort(&mut taken);
-        taken
+        self.extract(|e| e.ticket == ticket)
     }
 
     fn sort(events: &mut [CompletionEvent]) {
@@ -211,6 +229,52 @@ mod tests {
         let drained = q.drain_due(at(200));
         assert_eq!(drained[0].ticket.raw(), 2, "earlier tick first");
         assert_eq!(drained[1].ticket.raw(), 1);
+    }
+
+    #[test]
+    fn empty_polls_return_without_allocating() {
+        let mut q = CompletionQueue::new();
+        // Nothing queued at all.
+        assert_eq!(q.drain_due(at(100)).capacity(), 0);
+        assert_eq!(q.take_ticket(Ticket::new(1)).capacity(), 0);
+        assert_eq!(q.drain_all().capacity(), 0);
+        // Something queued, but nothing due / no match: still no
+        // allocation, and the queue is untouched.
+        q.push(event(1, 0, 500));
+        assert_eq!(q.drain_due(at(100)).capacity(), 0);
+        assert_eq!(q.take_ticket(Ticket::new(2)).capacity(), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    /// The in-place partition through the reusable scratch buffer
+    /// preserves the documented drain order across repeated mixed
+    /// polls (the satellite regression for the rewrite).
+    #[test]
+    fn scratch_partition_keeps_drain_order_across_polls() {
+        let mut q = CompletionQueue::new();
+        for (ticket, index, ready) in [
+            (3, 1, 100),
+            (1, 0, 300),
+            (2, 0, 100),
+            (1, 1, 100),
+            (2, 1, 300),
+            (4, 0, 500),
+        ] {
+            q.push(event(ticket, index, ready));
+        }
+        let first = q.drain_due(at(100));
+        let order: Vec<(u64, u32)> = first.iter().map(|e| (e.ticket.raw(), e.index)).collect();
+        assert_eq!(order, vec![(1, 1), (2, 0), (3, 1)]);
+        // The kept events survived the partition swap and drain in
+        // order on the next polls.
+        q.push(event(1, 2, 300));
+        let second = q.drain_due(at(300));
+        let order: Vec<(u64, u32)> = second.iter().map(|e| (e.ticket.raw(), e.index)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 2), (2, 1)]);
+        let rest = q.drain_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].ticket.raw(), 4);
+        assert!(q.is_empty());
     }
 
     #[test]

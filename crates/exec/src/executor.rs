@@ -1,7 +1,7 @@
 //! The deterministic discrete-event executor driving batches at stage
 //! granularity.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use iceclave_sim::{EventClock, KeyedEventQueue};
 use iceclave_types::{CompletionEvent, SimTime, Ticket, TicketKind};
@@ -39,13 +39,80 @@ pub trait StageMachine {
 }
 
 #[derive(Copy, Clone, Debug)]
-struct TicketState {
-    kind: TicketKind,
-    pages: u32,
-    remaining: u32,
-    drained: u32,
-    issued: SimTime,
-    finished: SimTime,
+pub(crate) struct TicketState {
+    pub(crate) kind: TicketKind,
+    pub(crate) pages: u32,
+    pub(crate) remaining: u32,
+    pub(crate) drained: u32,
+    pub(crate) issued: SimTime,
+    pub(crate) finished: SimTime,
+}
+
+/// Windowed slab of in-flight ticket state, indexed directly by raw
+/// ticket id.
+///
+/// Ticket ids are allocated monotonically and retired roughly in
+/// order, so live tickets occupy a dense sliding window
+/// `[base, base + slots.len())`: a lookup is one subtraction and one
+/// array index instead of a tree probe. The window bounds *are* the
+/// generation check — an id below `base` names a retired generation,
+/// an id at or past the window end was never issued, and a `None`
+/// slot inside the window is a retired ticket whose id can never be
+/// reissued (monotonic allocation is the documented same-tick
+/// tie-breaker, so ids are never reused).
+#[derive(Debug, Default)]
+pub(crate) struct TicketTable {
+    /// Raw ticket id of `slots[0]`.
+    base: u64,
+    /// Live window; `None` marks retired tickets awaiting window
+    /// advance.
+    slots: VecDeque<Option<TicketState>>,
+}
+
+impl TicketTable {
+    pub(crate) fn new(first_id: u64) -> Self {
+        TicketTable {
+            base: first_id,
+            slots: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&TicketState> {
+        let idx = id.checked_sub(self.base)?;
+        self.slots.get(idx as usize)?.as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut TicketState> {
+        let idx = id.checked_sub(self.base)?;
+        self.slots.get_mut(idx as usize)?.as_mut()
+    }
+
+    /// Inserts the state of the next monotonically allocated id.
+    pub(crate) fn push_next(&mut self, id: u64, state: TicketState) {
+        debug_assert_eq!(id, self.base + self.slots.len() as u64);
+        self.slots.push_back(Some(state));
+    }
+
+    /// Drops every ticket failing `keep`, then advances the window
+    /// past the retired prefix so the slab stays bounded.
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(&TicketState) -> bool) {
+        for slot in self.slots.iter_mut() {
+            if slot.as_ref().is_some_and(|s| !keep(s)) {
+                *slot = None;
+            }
+        }
+        // Only the front advances: `push_next` relies on the window
+        // end staying aligned with the id allocator, so interior and
+        // trailing holes wait for the window to slide past them.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    pub(crate) fn values(&self) -> impl Iterator<Item = &TicketState> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
 }
 
 /// The deterministic batch executor: an event heap over stage events,
@@ -66,7 +133,7 @@ pub struct Executor<S> {
     clock: EventClock,
     completions: CompletionQueue,
     next_ticket: u64,
-    tickets: BTreeMap<u64, TicketState>,
+    tickets: TicketTable,
 }
 
 impl<S> Executor<S> {
@@ -77,7 +144,7 @@ impl<S> Executor<S> {
             clock: EventClock::new(),
             completions: CompletionQueue::new(),
             next_ticket: 1,
-            tickets: BTreeMap::new(),
+            tickets: TicketTable::new(1),
         }
     }
 
@@ -86,7 +153,7 @@ impl<S> Executor<S> {
     pub fn open_ticket(&mut self, kind: TicketKind, pages: u32, now: SimTime) -> Ticket {
         let ticket = Ticket::new(self.next_ticket);
         self.next_ticket += 1;
-        self.tickets.insert(
+        self.tickets.push_next(
             ticket.raw(),
             TicketState {
                 kind,
@@ -131,7 +198,7 @@ impl<S> Executor<S> {
         let ticket = event.ticket.raw();
         let ready = event.ready_at();
         self.completions.push(event);
-        let Some(state) = self.tickets.get_mut(&ticket) else {
+        let Some(state) = self.tickets.get_mut(ticket) else {
             debug_assert!(false, "completion for unknown ticket#{ticket}");
             return true;
         };
@@ -144,7 +211,7 @@ impl<S> Executor<S> {
     /// Folds a batch-level completion time (e.g. the write path's
     /// secure-world exit) into the ticket's finish time.
     pub fn note_finished(&mut self, ticket: Ticket, at: SimTime) {
-        if let Some(state) = self.tickets.get_mut(&ticket.raw()) {
+        if let Some(state) = self.tickets.get_mut(ticket.raw()) {
             state.finished = state.finished.max(at);
         }
     }
@@ -153,39 +220,39 @@ impl<S> Executor<S> {
     /// already-drained tickets count as closed).
     pub fn is_closed(&self, ticket: Ticket) -> bool {
         self.tickets
-            .get(&ticket.raw())
+            .get(ticket.raw())
             .is_none_or(|s| s.remaining == 0)
     }
 
     /// When `ticket` finished, if it is closed and not yet drained.
     pub fn finished_at(&self, ticket: Ticket) -> Option<SimTime> {
         self.tickets
-            .get(&ticket.raw())
+            .get(ticket.raw())
             .filter(|s| s.remaining == 0)
             .map(|s| s.finished)
     }
 
     /// When `ticket` was submitted, if it is not yet drained.
     pub fn issued_at(&self, ticket: Ticket) -> Option<SimTime> {
-        self.tickets.get(&ticket.raw()).map(|s| s.issued)
+        self.tickets.get(ticket.raw()).map(|s| s.issued)
     }
 
     /// The direction of `ticket`, if it is not yet drained.
     pub fn kind_of(&self, ticket: Ticket) -> Option<TicketKind> {
-        self.tickets.get(&ticket.raw()).map(|s| s.kind)
+        self.tickets.get(ticket.raw()).map(|s| s.kind)
     }
 
     /// Number of pages `ticket` was opened with, if it is not yet
     /// drained.
     pub fn pages_of(&self, ticket: Ticket) -> Option<u32> {
-        self.tickets.get(&ticket.raw()).map(|s| s.pages)
+        self.tickets.get(ticket.raw()).map(|s| s.pages)
     }
 
     /// Number of `ticket`'s completions already drained through
     /// [`Executor::poll`]/[`Executor::drain_all`], if the ticket is not
     /// yet retired.
     pub fn drained_of(&self, ticket: Ticket) -> Option<u32> {
-        self.tickets.get(&ticket.raw()).map(|s| s.drained)
+        self.tickets.get(ticket.raw()).map(|s| s.drained)
     }
 
     /// Number of tickets with pages still in flight.
@@ -290,7 +357,7 @@ impl<S> Executor<S> {
     /// by *(ready, page index)*, retiring the ticket if it is closed.
     pub fn take_ticket_completions(&mut self, ticket: Ticket) -> Vec<CompletionEvent> {
         let taken = self.completions.take_ticket(ticket);
-        if let Some(state) = self.tickets.get_mut(&ticket.raw()) {
+        if let Some(state) = self.tickets.get_mut(ticket.raw()) {
             state.drained += taken.len() as u32;
         }
         self.retire_drained();
@@ -302,7 +369,7 @@ impl<S> Executor<S> {
     /// stays bounded across long runs).
     fn bookkeep_drained(&mut self, drained: &[CompletionEvent]) {
         for ev in drained {
-            if let Some(state) = self.tickets.get_mut(&ev.ticket.raw()) {
+            if let Some(state) = self.tickets.get_mut(ev.ticket.raw()) {
                 state.drained += 1;
             }
         }
@@ -313,7 +380,7 @@ impl<S> Executor<S> {
     /// (bookkeeping stays bounded across long runs).
     fn retire_drained(&mut self) {
         self.tickets
-            .retain(|_, s| s.remaining > 0 || s.drained < s.pages);
+            .retain(|s| s.remaining > 0 || s.drained < s.pages);
     }
 }
 

@@ -5,7 +5,7 @@ use std::error::Error;
 use std::fmt;
 
 use iceclave_sim::{Histogram, Resource, ServiceSpan};
-use iceclave_types::{Ppn, SimTime};
+use iceclave_types::{FastMap, Ppn, SimTime};
 
 use crate::{BlockAddr, FlashConfig};
 
@@ -90,7 +90,11 @@ pub struct FlashArray {
     blocks: Vec<BlockState>,
     dies: Vec<Resource>,
     channels: Vec<Resource>,
-    data: HashMap<u64, Box<[u8]>>,
+    /// Functional page content, keyed by raw PPN. Sparse on purpose:
+    /// the FTL spreads allocations across every die, so PPN keys span
+    /// the whole device even when only a few pages hold data — dense
+    /// indexing would cost gigabytes for a 1 TiB geometry.
+    data: FastMap<u64, Box<[u8]>>,
     stats: FlashStats,
 }
 
@@ -110,7 +114,7 @@ impl FlashArray {
             blocks,
             dies,
             channels,
-            data: HashMap::new(),
+            data: FastMap::default(),
             stats: FlashStats::default(),
         }
     }
@@ -296,6 +300,7 @@ impl FlashArray {
     }
 
     /// Functional content of a page, if any was stored.
+    #[inline]
     pub fn read_data(&self, ppn: Ppn) -> Option<&[u8]> {
         self.data.get(&ppn.raw()).map(|b| &b[..])
     }

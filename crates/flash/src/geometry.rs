@@ -134,6 +134,21 @@ impl FlashGeometry {
         ByteSize::from_bytes(self.total_pages() * u64::from(self.page_size))
     }
 
+    /// Splits `v` into `(v / d, v % d)`, reducing to shift/mask for
+    /// power-of-two divisors. Address decomposition runs on the
+    /// simulator's per-page hot path, and every stock geometry is
+    /// power-of-two sized, so this turns the divide chains of
+    /// [`FlashGeometry::unpack`] into a handful of bit ops.
+    #[inline]
+    fn split(v: u64, d: u32) -> (u64, u64) {
+        let d = u64::from(d);
+        if d.is_power_of_two() {
+            (v >> d.trailing_zeros(), v & (d - 1))
+        } else {
+            (v / d, v % d)
+        }
+    }
+
     /// Flat index of a die in `0..total_dies()`, ordering channels
     /// outermost.
     pub fn die_index(&self, channel: u32, chip: u32, die: u32) -> u64 {
@@ -171,16 +186,13 @@ impl FlashGeometry {
             self.total_pages()
         );
         let raw = ppn.raw();
-        let page = (raw % u64::from(self.pages_per_block)) as u32;
-        let block_idx = raw / u64::from(self.pages_per_block);
-        let block = (block_idx % u64::from(self.blocks_per_plane)) as u32;
-        let plane_idx = block_idx / u64::from(self.blocks_per_plane);
-        let plane = (plane_idx % u64::from(self.planes_per_die)) as u32;
-        let die_idx = plane_idx / u64::from(self.planes_per_die);
-        let die = (die_idx % u64::from(self.dies_per_chip)) as u32;
-        let chip_idx = die_idx / u64::from(self.dies_per_chip);
-        let chip = (chip_idx % u64::from(self.chips_per_channel)) as u32;
-        let channel = (chip_idx / u64::from(self.chips_per_channel)) as u32;
+        let (block_idx, page) = Self::split(raw, self.pages_per_block);
+        let (plane_idx, block) = Self::split(block_idx, self.blocks_per_plane);
+        let (die_idx, plane) = Self::split(plane_idx, self.planes_per_die);
+        let (chip_idx, die) = Self::split(die_idx, self.dies_per_chip);
+        let (channel, chip) = Self::split(chip_idx, self.chips_per_channel);
+        let (page, block, plane) = (page as u32, block as u32, plane as u32);
+        let (die, chip, channel) = (die as u32, chip as u32, channel as u32);
         FlashAddr {
             channel,
             chip,
@@ -211,14 +223,12 @@ impl FlashGeometry {
 
     /// Inverse of [`FlashGeometry::block_index`].
     pub fn block_from_index(&self, index: u64) -> BlockAddr {
-        let block = (index % u64::from(self.blocks_per_plane)) as u32;
-        let plane_idx = index / u64::from(self.blocks_per_plane);
-        let plane = (plane_idx % u64::from(self.planes_per_die)) as u32;
-        let die_idx = plane_idx / u64::from(self.planes_per_die);
-        let die = (die_idx % u64::from(self.dies_per_chip)) as u32;
-        let chip_idx = die_idx / u64::from(self.dies_per_chip);
-        let chip = (chip_idx % u64::from(self.chips_per_channel)) as u32;
-        let channel = (chip_idx / u64::from(self.chips_per_channel)) as u32;
+        let (plane_idx, block) = Self::split(index, self.blocks_per_plane);
+        let (die_idx, plane) = Self::split(plane_idx, self.planes_per_die);
+        let (chip_idx, die) = Self::split(die_idx, self.dies_per_chip);
+        let (channel, chip) = Self::split(chip_idx, self.chips_per_channel);
+        let (block, plane) = (block as u32, plane as u32);
+        let (die, chip, channel) = (die as u32, chip as u32, channel as u32);
         BlockAddr {
             channel,
             chip,

@@ -8,7 +8,9 @@
 //! world switch at runtime; §6.3 measures only 0.17% of translations
 //! missing.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use iceclave_types::FastMap;
 
 use iceclave_types::{ByteSize, Lpn, PAGE_SIZE};
 
@@ -41,7 +43,7 @@ pub struct CmtLookup {
 pub struct CachedMappingTable {
     /// Resident translation-page numbers, most recent first.
     lru: VecDeque<u64>,
-    resident: HashMap<u64, bool>, // tvpn -> dirty
+    resident: FastMap<u64, bool>, // tvpn -> dirty
     capacity_pages: usize,
     hits: u64,
     misses: u64,
@@ -61,7 +63,7 @@ impl CachedMappingTable {
         );
         CachedMappingTable {
             lru: VecDeque::new(),
-            resident: HashMap::new(),
+            resident: FastMap::default(),
             capacity_pages,
             hits: 0,
             misses: 0,
@@ -88,13 +90,17 @@ impl CachedMappingTable {
     fn touch(&mut self, tvpn: u64, dirty: bool) -> CmtLookup {
         if let Some(d) = self.resident.get_mut(&tvpn) {
             *d = *d || dirty;
-            let pos = self
-                .lru
-                .iter()
-                .position(|&p| p == tvpn)
-                .expect("resident page must be in LRU list");
-            self.lru.remove(pos);
-            self.lru.push_front(tvpn);
+            // Sequential workloads hammer one translation page; skip
+            // the LRU reshuffle when it is already most recent.
+            if self.lru.front() != Some(&tvpn) {
+                let pos = self
+                    .lru
+                    .iter()
+                    .position(|&p| p == tvpn)
+                    .expect("resident page must be in LRU list");
+                self.lru.remove(pos);
+                self.lru.push_front(tvpn);
+            }
             self.hits += 1;
             return CmtLookup {
                 hit: true,

@@ -9,7 +9,7 @@ use iceclave_flash::{BlockAddr, FlashArray, FlashConfig, FlashError};
 use iceclave_sim::ServiceSpan;
 use iceclave_trustzone::{World, WorldMonitor};
 use iceclave_types::{
-    BatchRequest, ByteSize, Lpn, Ppn, SimDuration, SimTime, TeeId, WriteBatchRequest,
+    BatchRequest, ByteSize, FastMap, Lpn, Ppn, SimDuration, SimTime, TeeId, WriteBatchRequest,
 };
 
 use crate::cmt::CachedMappingTable;
@@ -204,6 +204,60 @@ enum PageContent {
     Translation(u64),
 }
 
+/// Grow-on-demand vector map for dense `u64` keys. Block indices and
+/// translation-page numbers are small and bounded by the device
+/// geometry, so direct indexing replaces hashing on the per-I/O
+/// bookkeeping path. (Per-PPN state must NOT live here: PPN keys span
+/// the whole device and would make the vector gigabytes large.)
+#[derive(Debug, Default)]
+struct DenseSlab<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> DenseSlab<T> {
+    fn new() -> Self {
+        DenseSlab { slots: Vec::new() }
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<&T> {
+        self.slots.get(key as usize).and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        self.slots.get_mut(key as usize).and_then(Option::as_mut)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, key: u64) -> &mut Option<T> {
+        let idx = key as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        &mut self.slots[idx]
+    }
+
+    fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        self.slot_mut(key).replace(value)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<T> {
+        self.slots.get_mut(key as usize).and_then(Option::take)
+    }
+
+    fn or_insert_with(&mut self, key: u64, make: impl FnOnce() -> T) -> &mut T {
+        self.slot_mut(key).get_or_insert_with(make)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (i as u64, v)))
+    }
+}
+
 #[derive(Clone, Debug)]
 struct BlockInfo {
     valid: Vec<u64>,
@@ -265,9 +319,11 @@ pub struct Ftl {
     mapping: MappingTable,
     cmt: CachedMappingTable,
     planes: Vec<PlaneState>,
-    blocks: HashMap<u64, BlockInfo>,
-    contents: HashMap<u64, PageContent>,
-    translation_ppns: HashMap<u64, Ppn>,
+    blocks: DenseSlab<BlockInfo>,
+    /// What each programmed physical page holds, keyed by raw PPN.
+    /// Sparse: the allocator strides PPNs across every die.
+    contents: FastMap<u64, PageContent>,
+    translation_ppns: DenseSlab<Ppn>,
     plane_cursor: usize,
     /// Per-channel plane cursors of the batched write path: steering
     /// picks the channel, these spread its programs over the channel's
@@ -290,9 +346,9 @@ impl Ftl {
             mapping: MappingTable::new(),
             cmt: CachedMappingTable::new(config.cmt_capacity),
             planes,
-            blocks: HashMap::new(),
-            contents: HashMap::new(),
-            translation_ppns: HashMap::new(),
+            blocks: DenseSlab::new(),
+            contents: FastMap::default(),
+            translation_ppns: DenseSlab::new(),
             plane_cursor: 0,
             channel_cursors: vec![0; flash_config.geometry.channels as usize],
             last_secure_granule: None,
@@ -775,7 +831,10 @@ impl Ftl {
 
     /// Total valid data pages (consistency checks and tests).
     pub fn valid_pages(&self) -> u64 {
-        self.blocks.values().map(|b| u64::from(b.valid_count)).sum()
+        self.blocks
+            .iter()
+            .map(|(_, b)| u64::from(b.valid_count))
+            .sum()
     }
 
     /// Erase-count spread across blocks that have been erased at least
@@ -784,8 +843,8 @@ impl Ftl {
         let g = self.flash.config().geometry;
         let mut min = u32::MAX;
         let mut max = 0;
-        for idx in self.blocks.keys() {
-            let count = self.flash.erase_count(g.block_from_index(*idx));
+        for (idx, _) in self.blocks.iter() {
+            let count = self.flash.erase_count(g.block_from_index(idx));
             min = min.min(count);
             max = max.max(count);
         }
@@ -813,7 +872,7 @@ impl Ftl {
             }
         }
         let tvpn = CachedMappingTable::translation_page_of(_lpn);
-        if let Some(ppn) = self.translation_ppns.get(&tvpn).copied() {
+        if let Some(ppn) = self.translation_ppns.get(tvpn).copied() {
             if let Ok(span) = self.flash.read_page(ppn, t) {
                 t = span.end;
             }
@@ -1144,7 +1203,7 @@ impl Ftl {
             let pages_per_block = f64::from(g.pages_per_block);
             let score = |b: u32| -> f64 {
                 let idx = g.block_index(self.plane_block_addr(plane_idx, b));
-                let info = self.blocks.get(&idx);
+                let info = self.blocks.get(idx);
                 let valid = info.map_or(0, |i| i.valid_count);
                 match self.config.gc_policy {
                     // Lower is better for both policies.
@@ -1183,7 +1242,7 @@ impl Ftl {
         let mut t = now;
         let valid_pages: Vec<u32> = self
             .blocks
-            .get(&victim_idx)
+            .get(victim_idx)
             .map(|info| info.iter_valid(g.pages_per_block).collect())
             .unwrap_or_default();
         for page in valid_pages {
@@ -1236,7 +1295,7 @@ impl Ftl {
             self.stats.gc_pages_moved += 1;
         }
         let span = self.flash.erase_block(victim_addr, t);
-        self.blocks.remove(&victim_idx);
+        self.blocks.remove(victim_idx);
         self.planes[plane_idx].free_blocks.push(victim);
         t = span.end;
         t = self.maybe_static_wear_level(plane_idx, t)?;
@@ -1299,7 +1358,7 @@ impl Ftl {
         let mut t = now;
         let valid_pages: Vec<u32> = self
             .blocks
-            .get(&cold_idx)
+            .get(cold_idx)
             .map(|info| info.iter_valid(g.pages_per_block).collect())
             .unwrap_or_default();
         for page in valid_pages {
@@ -1332,7 +1391,7 @@ impl Ftl {
             }
         }
         let span = self.flash.erase_block(cold_addr, t);
-        self.blocks.remove(&cold_idx);
+        self.blocks.remove(cold_idx);
         self.planes[plane_idx].full_blocks.push(hot);
         self.planes[plane_idx].free_blocks.push(cold);
         self.stats.wl_migrations += 1;
@@ -1366,8 +1425,7 @@ impl Ftl {
         let pages_per_block = g.pages_per_block;
         let info = self
             .blocks
-            .entry(idx)
-            .or_insert_with(|| BlockInfo::new(pages_per_block));
+            .or_insert_with(idx, || BlockInfo::new(pages_per_block));
         info.set(addr.page);
         info.last_programmed = info.last_programmed.max(now);
         self.contents.insert(ppn.raw(), content);
@@ -1377,7 +1435,7 @@ impl Ftl {
         let g = self.flash.config().geometry;
         let addr = g.unpack(ppn);
         let idx = g.block_index(addr.block_addr());
-        if let Some(info) = self.blocks.get_mut(&idx) {
+        if let Some(info) = self.blocks.get_mut(idx) {
             info.clear(addr.page);
         }
         self.contents.remove(&ppn.raw());

@@ -1,7 +1,5 @@
 //! The logical-to-physical mapping table with per-entry ID bits (§4.3).
 
-use std::collections::HashMap;
-
 use iceclave_types::{Lpn, Ppn, TeeId};
 
 /// One 8-byte mapping entry.
@@ -84,39 +82,65 @@ impl MappingEntry {
 /// its miss traffic.
 #[derive(Debug, Default)]
 pub struct MappingTable {
-    entries: HashMap<u64, MappingEntry>,
+    /// Dense, LPN-indexed. Logical page numbers are bounded by the
+    /// device's logical capacity, so a grow-on-demand vector replaces
+    /// hashing on the per-I/O translation path.
+    entries: Vec<Option<MappingEntry>>,
+    mapped: usize,
 }
 
 impl MappingTable {
     /// An empty table.
     pub fn new() -> Self {
         MappingTable {
-            entries: HashMap::new(),
+            entries: Vec::new(),
+            mapped: 0,
         }
     }
 
+    #[inline]
+    fn slot(&self, lpn: Lpn) -> Option<&MappingEntry> {
+        self.entries
+            .get(lpn.raw() as usize)
+            .and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, lpn: Lpn) -> &mut Option<MappingEntry> {
+        let idx = lpn.raw() as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        &mut self.entries[idx]
+    }
+
     /// The entry for `lpn`, if mapped.
+    #[inline]
     pub fn lookup(&self, lpn: Lpn) -> Option<MappingEntry> {
-        self.entries.get(&lpn.raw()).copied()
+        self.slot(lpn).copied()
     }
 
     /// Maps `lpn` to `ppn`, preserving the previous owner (out-of-place
     /// update) or [`TeeId::UNOWNED`] for fresh entries. Returns the
     /// previous physical page, which the caller must invalidate.
     pub fn update(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
-        let owner = self
-            .entries
-            .get(&lpn.raw())
-            .map_or(TeeId::UNOWNED, |e| e.owner());
-        self.entries
-            .insert(lpn.raw(), MappingEntry::new(ppn, owner))
-            .map(|e| e.ppn())
+        let slot = self.slot_mut(lpn);
+        let owner = slot.map_or(TeeId::UNOWNED, |e| e.owner());
+        let prev = slot.replace(MappingEntry::new(ppn, owner));
+        if prev.is_none() {
+            self.mapped += 1;
+        }
+        prev.map(|e| e.ppn())
     }
 
     /// Sets the ID bits of an existing entry (the `SetIDBits` API of
     /// Table 2). Returns `false` when `lpn` is unmapped.
     pub fn set_owner(&mut self, lpn: Lpn, owner: TeeId) -> bool {
-        match self.entries.get_mut(&lpn.raw()) {
+        match self
+            .entries
+            .get_mut(lpn.raw() as usize)
+            .and_then(Option::as_mut)
+        {
             Some(e) => {
                 *e = MappingEntry::new(e.ppn(), owner);
                 true
@@ -128,17 +152,24 @@ impl MappingTable {
     /// Removes the mapping for `lpn` (trim), returning the freed
     /// physical page.
     pub fn remove(&mut self, lpn: Lpn) -> Option<Ppn> {
-        self.entries.remove(&lpn.raw()).map(|e| e.ppn())
+        let prev = self
+            .entries
+            .get_mut(lpn.raw() as usize)
+            .and_then(Option::take);
+        if prev.is_some() {
+            self.mapped -= 1;
+        }
+        prev.map(|e| e.ppn())
     }
 
     /// Number of mapped logical pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.mapped
     }
 
     /// True if nothing is mapped.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.mapped == 0
     }
 
     /// Whether `tee` may access `lpn` per the ID bits: the owner

@@ -56,9 +56,16 @@
 //! ([`WfqArbiter::charge`]), so a write-heavy tenant's reads are
 //! deprioritized accordingly.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use iceclave_types::{SimTime, TeeId, Ticket};
+
+/// TEE ids are 4 bits (0 reserved), so per-channel tenant state lives
+/// in fixed 16-slot arrays indexed by the raw id — no map lookups on
+/// the grant path, and ascending-id iteration (the deterministic
+/// tie-break order) for free.
+const MAX_TENANTS: usize = 16;
 
 /// Which cross-tenant policy the channel arbiter runs.
 #[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
@@ -99,22 +106,15 @@ pub struct IssueGrant {
 }
 
 /// One tenant's per-channel queue state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct Lane {
     /// Virtual finish tag of the lane's last grant (or charge).
     finish: u64,
-    /// Queued pages in *(effective ready, ticket id, page index)*
-    /// order — the pre-WFQ issue order of a lone tenant.
-    queue: BTreeMap<(SimTime, u64, u32), ()>,
-}
-
-impl Lane {
-    fn new() -> Self {
-        Lane {
-            finish: 0,
-            queue: BTreeMap::new(),
-        }
-    }
+    /// Queued pages as a min-heap over *(effective ready, ticket id,
+    /// page index)* — the pre-WFQ issue order of a lone tenant. Keys
+    /// are unique (a page queues once), so popping the heap yields
+    /// exactly the ascending key order the former ordered map gave.
+    queue: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
 }
 
 /// One flash channel's SFQ state.
@@ -126,8 +126,15 @@ struct ChannelWfq {
     /// page per channel is between grant and flash completion — the
     /// page-boundary preemption point.
     busy: Option<(u64, u32)>,
-    /// Per-tenant lanes, keyed by raw TEE id (deterministic order).
-    lanes: BTreeMap<u16, Lane>,
+    /// Per-tenant lanes, indexed by raw TEE id. `None` = the tenant
+    /// never touched this channel (or was forgotten).
+    lanes: [Option<Lane>; MAX_TENANTS],
+}
+
+impl ChannelWfq {
+    fn lane_mut(&mut self, tee_raw: u16) -> &mut Lane {
+        self.lanes[tee_raw as usize].get_or_insert_with(Lane::default)
+    }
 }
 
 /// The per-channel weighted-fair-queueing arbiter across TEEs.
@@ -165,9 +172,9 @@ struct ChannelWfq {
 #[derive(Clone, Debug)]
 pub struct WfqArbiter {
     channels: Vec<ChannelWfq>,
-    /// Per-tenant weights (raw TEE id → weight); missing entries use
+    /// Per-tenant weights indexed by raw TEE id; `None` entries use
     /// `default_weight`.
-    weights: BTreeMap<u16, u32>,
+    weights: [Option<u32>; MAX_TENANTS],
     default_weight: u32,
 }
 
@@ -182,7 +189,7 @@ impl WfqArbiter {
         assert!(channels > 0, "arbiter needs at least one channel");
         WfqArbiter {
             channels: vec![ChannelWfq::default(); channels],
-            weights: BTreeMap::new(),
+            weights: [None; MAX_TENANTS],
             default_weight: 1,
         }
     }
@@ -211,15 +218,12 @@ impl WfqArbiter {
             (1..=MAX_WEIGHT).contains(&weight),
             "weights must be in 1..={MAX_WEIGHT}"
         );
-        self.weights.insert(u16::from(tee.raw()), weight);
+        self.weights[usize::from(tee.raw())] = Some(weight);
     }
 
     /// The weight `tee` is currently scheduled at.
     pub fn weight_of(&self, tee: TeeId) -> u32 {
-        self.weights
-            .get(&u16::from(tee.raw()))
-            .copied()
-            .unwrap_or(self.default_weight)
+        self.weights[usize::from(tee.raw())].unwrap_or(self.default_weight)
     }
 
     /// Number of channels under arbitration.
@@ -242,11 +246,9 @@ impl WfqArbiter {
         ready: SimTime,
     ) {
         self.channels[channel]
-            .lanes
-            .entry(u16::from(tee.raw()))
-            .or_insert_with(Lane::new)
+            .lane_mut(u16::from(tee.raw()))
             .queue
-            .insert((ready, ticket.raw(), page), ());
+            .push(Reverse((ready, ticket.raw(), page)));
     }
 
     /// Number of pages `tee` has queued (not yet granted) on
@@ -256,9 +258,8 @@ impl WfqArbiter {
     ///
     /// Panics if `channel` is out of range.
     pub fn queued(&self, channel: usize, tee: TeeId) -> usize {
-        self.channels[channel]
-            .lanes
-            .get(&u16::from(tee.raw()))
+        self.channels[channel].lanes[usize::from(tee.raw())]
+            .as_ref()
             .map_or(0, |lane| lane.queue.len())
     }
 
@@ -266,7 +267,7 @@ impl WfqArbiter {
     pub fn queued_total(&self) -> usize {
         self.channels
             .iter()
-            .flat_map(|c| c.lanes.values())
+            .flat_map(|c| c.lanes.iter().flatten())
             .map(|l| l.queue.len())
             .sum()
     }
@@ -290,20 +291,24 @@ impl WfqArbiter {
         if ch.busy.is_some() {
             return None;
         }
-        let (&tee_raw, _) = ch
-            .lanes
-            .iter()
-            .filter(|(_, lane)| !lane.queue.is_empty())
-            .min_by_key(|(&tee_raw, lane)| (ch.vtime.max(lane.finish), tee_raw))?;
-        let weight = self
-            .weights
-            .get(&tee_raw)
-            .copied()
-            .unwrap_or(default_weight);
-        let lane = ch.lanes.get_mut(&tee_raw).expect("winning lane exists");
-        let (&(ready, ticket, page), ()) = lane.queue.iter().next().expect("lane is backlogged");
-        lane.queue.remove(&(ready, ticket, page));
-        let start = ch.vtime.max(lane.finish);
+        // Smallest prospective start tag wins; scanning lanes in
+        // ascending TEE id with a strict `<` breaks ties toward the
+        // smaller id, exactly as the former ordered-map min did.
+        let mut winner: Option<(u64, usize)> = None;
+        for (tee_raw, lane) in ch.lanes.iter().enumerate() {
+            let Some(lane) = lane else { continue };
+            if lane.queue.is_empty() {
+                continue;
+            }
+            let start = ch.vtime.max(lane.finish);
+            if winner.is_none_or(|(best, _)| start < best) {
+                winner = Some((start, tee_raw));
+            }
+        }
+        let (start, tee_raw) = winner?;
+        let weight = self.weights[tee_raw].unwrap_or(default_weight);
+        let lane = ch.lanes[tee_raw].as_mut().expect("winning lane exists");
+        let Reverse((ready, ticket, page)) = lane.queue.pop().expect("lane is backlogged");
         lane.finish = start + QUANTUM_FP / u64::from(weight);
         ch.vtime = start;
         ch.busy = Some((ticket, page));
@@ -341,11 +346,9 @@ impl WfqArbiter {
     pub fn charge(&mut self, channel: usize, tee: TeeId, pages: u64) {
         let weight = u64::from(self.weight_of(tee));
         let ch = &mut self.channels[channel];
-        let lane = ch
-            .lanes
-            .entry(u16::from(tee.raw()))
-            .or_insert_with(Lane::new);
-        lane.finish = ch.vtime.max(lane.finish) + pages * (QUANTUM_FP / weight);
+        let vtime = ch.vtime;
+        let lane = ch.lane_mut(u16::from(tee.raw()));
+        lane.finish = vtime.max(lane.finish) + pages * (QUANTUM_FP / weight);
     }
 
     /// The virtual tag ordering `tee`'s batch-level (Program) events
@@ -353,10 +356,10 @@ impl WfqArbiter {
     /// per-channel finish tag. A tenant that has consumed more channel
     /// service sorts later at the same simulated tick.
     pub fn program_tag(&self, tee: TeeId) -> u64 {
-        let raw = u16::from(tee.raw());
+        let raw = usize::from(tee.raw());
         self.channels
             .iter()
-            .filter_map(|ch| ch.lanes.get(&raw).map(|lane| lane.finish))
+            .filter_map(|ch| ch.lanes[raw].as_ref().map(|lane| lane.finish))
             .max()
             .unwrap_or(0)
     }
@@ -373,8 +376,8 @@ impl WfqArbiter {
         let raw = ticket.raw();
         let mut released = Vec::new();
         for (index, ch) in self.channels.iter_mut().enumerate() {
-            for lane in ch.lanes.values_mut() {
-                lane.queue.retain(|&(_, t, _), ()| t != raw);
+            for lane in ch.lanes.iter_mut().flatten() {
+                lane.queue.retain(|&Reverse((_, t, _))| t != raw);
             }
             if matches!(ch.busy, Some((t, _)) if t == raw) {
                 ch.busy = None;
@@ -391,11 +394,11 @@ impl WfqArbiter {
     /// (e.g. `iceclave_core`'s `FairnessConfig`) reseed them after
     /// this call.
     pub fn forget_tee(&mut self, tee: TeeId) {
-        let raw = u16::from(tee.raw());
+        let raw = usize::from(tee.raw());
         for ch in &mut self.channels {
-            ch.lanes.remove(&raw);
+            ch.lanes[raw] = None;
         }
-        self.weights.remove(&raw);
+        self.weights[raw] = None;
     }
 }
 

@@ -115,7 +115,17 @@ impl MetaCache {
     }
 
     fn set_of(&self, block: u64) -> usize {
-        (mix64(block) % self.sets.len() as u64) as usize
+        // Stock capacities give a power-of-two set count; the mask is
+        // bit-identical to the modulo there and skips the division on
+        // the per-access hot path.
+        let n = self.sets.len() as u64;
+        let h = mix64(block);
+        let set = if n.is_power_of_two() {
+            h & (n - 1)
+        } else {
+            h % n
+        };
+        set as usize
     }
 
     fn next_stamp(&mut self) -> u64 {

@@ -12,8 +12,6 @@
 //! eviction — which is what keeps Table 6's extra-traffic percentages
 //! tied to write intensity.
 
-use std::collections::HashMap;
-
 use iceclave_dram::{Dram, MemOp};
 use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
 
@@ -333,6 +331,40 @@ fn meta_line(id: u64) -> CacheLine {
     CacheLine::new((1 << 44) + id)
 }
 
+/// Per-page metadata stored densely. DRAM page numbers are bounded by
+/// `protected_pages`, so a grow-on-demand vector indexed by page number
+/// replaces hashing on the per-access hot path; untouched pages read as
+/// the default value, which matches the old map's absent-key semantics.
+#[derive(Debug)]
+struct PageSlab<T> {
+    slots: Vec<T>,
+    default: T,
+}
+
+impl<T: Clone> PageSlab<T> {
+    fn new(default: T) -> Self {
+        PageSlab {
+            slots: Vec::new(),
+            default,
+        }
+    }
+
+    #[inline]
+    fn get(&self, page: u64) -> Option<&T> {
+        self.slots.get(page as usize)
+    }
+
+    #[inline]
+    fn entry(&mut self, page: u64) -> &mut T {
+        let idx = page as usize;
+        if idx >= self.slots.len() {
+            let default = self.default.clone();
+            self.slots.resize(idx + 1, default);
+        }
+        &mut self.slots[idx]
+    }
+}
+
 /// The timing/traffic MEE.
 ///
 /// See the crate docs for an example.
@@ -341,8 +373,8 @@ pub struct MeeEngine {
     config: MeeConfig,
     cache: MetaCache,
     l2: Option<L2MetaStore>,
-    page_class: HashMap<u64, PageClass>,
-    split_counters: HashMap<u64, SplitCounterBlock>,
+    page_class: PageSlab<PageClass>,
+    split_counters: PageSlab<SplitCounterBlock>,
     split_tree: TreeGeometry,
     major_tree: TreeGeometry,
     stats: MeeStats,
@@ -366,8 +398,8 @@ impl MeeEngine {
             config,
             cache: MetaCache::new(config.counter_cache, config.cache_ways),
             l2,
-            page_class: HashMap::new(),
-            split_counters: HashMap::new(),
+            page_class: PageSlab::new(PageClass::Writable),
+            split_counters: PageSlab::new(SplitCounterBlock::new()),
             split_tree: TreeGeometry::for_leaves(config.protected_pages),
             major_tree: TreeGeometry::for_leaves(config.protected_pages.div_ceil(8)),
             stats: MeeStats::default(),
@@ -385,7 +417,7 @@ impl MeeEngine {
     /// [`MeeEngine::migrate_page`] for a live permission change.
     pub fn set_page_class(&mut self, page: u64, class: PageClass) {
         if self.config.mode == CounterMode::Hybrid {
-            self.page_class.insert(page, class);
+            *self.page_class.entry(page) = class;
         }
     }
 
@@ -407,10 +439,9 @@ impl MeeEngine {
         if current == class {
             return now;
         }
-        self.page_class.insert(page, class);
-        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
-        self.split_counters
-            .insert(page, SplitCounterBlock::with_major(major + 1));
+        *self.page_class.entry(page) = class;
+        let major = self.split_counters.get(page).map_or(0, |b| b.major());
+        *self.split_counters.entry(page) = SplitCounterBlock::with_major(major + 1);
         // Stale counter metadata of the old tree must not be reused —
         // at either level of the hierarchy.
         let stale = self.counter_id(page, current);
@@ -450,9 +481,8 @@ impl MeeEngine {
         // counter block straight to DRAM *without* polluting the
         // core-side counter cache (the program's first read takes the
         // compulsory miss, as in the paper's USIMM experiment).
-        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
-        self.split_counters
-            .insert(page, SplitCounterBlock::with_major(major + 1));
+        let major = self.split_counters.get(page).map_or(0, |b| b.major());
+        *self.split_counters.entry(page) = SplitCounterBlock::with_major(major + 1);
         let id = self.counter_id(page, self.effective_class(page));
         let was_cached = self.cache.invalidate(id);
         let _ = was_cached;
@@ -507,9 +537,8 @@ impl MeeEngine {
         // MAC must never reuse a pad) — written straight to DRAM by the
         // bulk engine, without polluting the core-side counter cache,
         // exactly like the fill datapath.
-        let major = self.split_counters.get(&page).map_or(0, |b| b.major());
-        self.split_counters
-            .insert(page, SplitCounterBlock::with_major(major + 1));
+        let major = self.split_counters.get(page).map_or(0, |b| b.major());
+        *self.split_counters.entry(page) = SplitCounterBlock::with_major(major + 1);
         let id = self.counter_id(page, self.effective_class(page));
         let _ = self.cache.invalidate(id);
         if let Some(l2) = self.l2.as_mut() {
@@ -614,11 +643,7 @@ impl MeeEngine {
         // Counter read-modify-write.
         let (counter_ready, counter_hit) = self.fetch_counter_for_update(dram, page, class, now);
         let line_in_page = (line.raw() % LINES_PER_PAGE) as usize;
-        let overflowed = self
-            .split_counters
-            .entry(page)
-            .or_default()
-            .increment(line_in_page);
+        let overflowed = self.split_counters.entry(page).increment(line_in_page);
         let mut t = counter_ready;
         if overflowed {
             self.stats.overflow_reencryptions += 1;
@@ -683,7 +708,7 @@ impl MeeEngine {
     /// must be identical whatever the L1/L2 configuration.
     pub fn line_counter(&self, page: u64, line_in_page: usize) -> u128 {
         self.split_counters
-            .get(&page)
+            .get(page)
             .map_or(0, |b| b.line_counter(line_in_page))
     }
 
@@ -699,7 +724,7 @@ impl MeeEngine {
 
     fn effective_class(&self, page: u64) -> PageClass {
         match self.config.mode {
-            CounterMode::Hybrid => *self.page_class.get(&page).unwrap_or(&PageClass::Writable),
+            CounterMode::Hybrid => *self.page_class.get(page).unwrap_or(&PageClass::Writable),
             _ => PageClass::Writable,
         }
     }

@@ -46,7 +46,7 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::EventClock;
-pub use event::{EventQueue, KeyedEventQueue};
+pub use event::{EventQueue, HeapKeyedEventQueue, KeyedEventQueue};
 pub use pipeline::Pipeline;
 pub use resource::{Resource, ResourcePool, ServiceSpan};
 pub use rng::SimRng;

@@ -72,6 +72,7 @@ impl Resource {
 
     /// Serves a request arriving at `arrival` for `service` time,
     /// returning the span actually occupied.
+    #[inline]
     pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> ServiceSpan {
         let start = arrival.max(self.next_free);
         let end = start + service;
@@ -85,6 +86,20 @@ impl Resource {
     #[inline]
     pub fn next_free(&self) -> SimTime {
         self.next_free
+    }
+
+    /// Applies the aggregate effect of `operations` acquisitions whose
+    /// chaining the caller computed externally (each must have used the
+    /// same `max(arrival, next_free) + service` rule, starting from
+    /// this resource's current [`Resource::next_free`]). Streaming
+    /// inner loops use this to keep per-item state in registers and
+    /// touch the resource once per run instead of once per item.
+    #[inline]
+    pub fn commit_run(&mut self, next_free: SimTime, busy: SimDuration, operations: u64) {
+        debug_assert!(next_free >= self.next_free);
+        self.next_free = next_free;
+        self.busy += busy;
+        self.operations += operations;
     }
 
     /// Total time this resource has spent serving requests.

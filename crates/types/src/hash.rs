@@ -1,0 +1,134 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The simulator's sparse per-page maps (flash page content, FTL page
+//! metadata) are keyed by physical page numbers that the FTL hands out
+//! adversarially spread across the device — dense `Vec` indexing would
+//! cost gigabytes for a 1 TiB geometry. A `HashMap` keeps them sparse,
+//! but the standard library's default SipHash is a measurable fraction
+//! of the per-page simulation budget. [`FxHasher`] is the classic
+//! multiply-rotate word hasher (as used by rustc): one rotate, one
+//! xor, and one multiply per word, with no DoS resistance — which is
+//! fine here because every key is simulator-generated, never attacker
+//! chosen.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`]; drop-in for simulator-internal maps
+/// whose keys are simulator-generated integers.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate word hasher; see the module docs for when it is
+/// appropriate.
+#[derive(Clone, Default, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FastMap<u64, &str> = FastMap::default();
+        m.insert(7, "seven");
+        m.insert(1 << 40, "high");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&(1 << 40)), Some(&"high"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_words() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        let mut seen = FastSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i * 2_097_152); // die-strided PPNs
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod addr;
 pub mod freq;
+pub mod hash;
 pub mod request;
 pub mod size;
 pub mod tee;
@@ -38,6 +39,7 @@ pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
 pub use freq::Hertz;
+pub use hash::{FastMap, FastSet, FxHasher};
 pub use request::{
     BatchCompletion, BatchRequest, PageCompletion, PageRequest, PageWrite, WriteBatchCompletion,
     WriteBatchRequest, WritePageCompletion, WritePageRequest,

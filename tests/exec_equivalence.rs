@@ -121,7 +121,7 @@ proptest! {
                         .map(|&l| PageWrite::with_data(l, written(round, l.raw())))
                         .collect();
                     exec_ice
-                        .submit_write_batch_async_as(exec_tees[*tee], &pw, t_exec)
+                        .submit_write_batch_async_as(exec_tees[*tee], pw, t_exec)
                         .unwrap();
                 }
             }
@@ -166,7 +166,7 @@ proptest! {
                         .map(|&l| PageWrite::with_data(l, written(round, l.raw())))
                         .collect();
                     let done = block_ice
-                        .submit_write_batch_as(block_tees[*tee], &pw, t_block)
+                        .submit_write_batch_as(block_tees[*tee], pw, t_block)
                         .unwrap();
                     t_block = t_block.max(done.finished);
                 }

@@ -136,7 +136,7 @@ fn completion_stream_is_deterministic() {
             .iter()
             .map(|&lpn| PageWrite::with_data(lpn, payload(lpn.raw() ^ 1)))
             .collect();
-        let _tb = ice.submit_write_batch_async_as(tee_b, &writes, t0).unwrap();
+        let _tb = ice.submit_write_batch_async_as(tee_b, writes, t0).unwrap();
         let _tc = ice.submit_batch_async(tee_b, &b_lpns[16..], t0).unwrap();
         for ev in ice.drain_completions() {
             trace.push((
@@ -294,10 +294,10 @@ fn blocking_wrapper_equals_manual_submit_and_wait() {
 
     let writes: Vec<PageWrite> = a_lpns.iter().map(|&l| PageWrite::new(l)).collect();
     let blocking_w = via_wrapper
-        .submit_write_batch_as(tee_a, &writes, blocking.finished)
+        .submit_write_batch_as(tee_a, writes.clone(), blocking.finished)
         .unwrap();
     let ticket_w = via_async
-        .submit_write_batch_async_as(tee_a2, &writes, waited.finished)
+        .submit_write_batch_async_as(tee_a2, writes, waited.finished)
         .unwrap();
     let waited_w = via_async.wait_write_batch(ticket_w).unwrap();
     assert_eq!(blocking_w, waited_w);

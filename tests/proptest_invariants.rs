@@ -167,7 +167,7 @@ proptest! {
                     PageWrite::with_data(Lpn::new(l), payload)
                 })
                 .collect();
-            t = ice.submit_write_batch_as(tee, &writes, t).unwrap().finished;
+            t = ice.submit_write_batch_as(tee, writes, t).unwrap().finished;
             churn += 1;
             prop_assert!(churn < 200, "GC never fired on the tiny device");
         }
@@ -183,7 +183,7 @@ proptest! {
                         PageWrite::with_data(Lpn::new(l), payload)
                     })
                     .collect();
-                t = ice.submit_write_batch_as(tee, &writes, t).unwrap().finished;
+                t = ice.submit_write_batch_as(tee, writes, t).unwrap().finished;
             } else {
                 let reads: Vec<Lpn> = batch_lpns.iter().map(|&l| Lpn::new(l)).collect();
                 let done = ice.submit_batch(tee, &reads, t).unwrap();

@@ -133,7 +133,7 @@ fn identical_weighted_runs_drain_identical_sequences() {
             .iter()
             .map(|&lpn| PageWrite::with_data(lpn, payload(lpn.raw())))
             .collect();
-        ice.submit_write_batch_async_as(tee_b, &writes, t0).unwrap();
+        ice.submit_write_batch_async_as(tee_b, writes, t0).unwrap();
         let trace: Vec<(u64, u32, u64, u64)> = ice
             .drain_completions()
             .iter()
@@ -192,7 +192,7 @@ fn single_tenant_wfq_is_byte_identical_to_fifo() {
                 .iter()
                 .map(|&lpn| PageWrite::with_data(lpn, payload(lpn.raw() ^ 7)))
                 .collect();
-            ice.submit_write_batch_async_as(tee, &writes, t1).unwrap();
+            ice.submit_write_batch_async_as(tee, writes, t1).unwrap();
         }
         let writes: Vec<(u64, u32, u64, u64)> = ice
             .drain_completions()

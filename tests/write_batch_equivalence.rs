@@ -41,7 +41,9 @@ fn write_batch_matches_sequential_post_state_and_bytes() {
 
     // One batch of N page writes...
     let (mut batched, tee_b, t_b) = setup(IceClaveConfig::tiny());
-    let batch = batched.submit_write_batch_as(tee_b, &writes, t_b).unwrap();
+    let batch = batched
+        .submit_write_batch_as(tee_b, writes.clone(), t_b)
+        .unwrap();
     assert_eq!(batch.len(), PAGES as usize);
 
     // ...versus N sequential one-page write batches.
@@ -49,7 +51,7 @@ fn write_batch_matches_sequential_post_state_and_bytes() {
     let mut t = t_s;
     for write in &writes {
         let one = sequential
-            .submit_write_batch_as(tee_s, std::slice::from_ref(write), t)
+            .submit_write_batch_as(tee_s, vec![write.clone()], t)
             .unwrap();
         t = one.finished;
     }

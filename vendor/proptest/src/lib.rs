@@ -20,13 +20,13 @@ pub mod prop {
     pub use crate::collection;
 }
 
-pub use strategy::Strategy;
+pub use strategy::{any, Arbitrary, Strategy};
 pub use test_runner::{ProptestConfig, TestRng};
 
 /// Everything a proptest file imports.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
