@@ -1,0 +1,218 @@
+//! Fault-rate sweep: goodput and tail latency under injected flash
+//! faults.
+//!
+//! The robustness counterpart of `simspeed.rs`: a fixed single-tenant
+//! read/write scenario is replayed under [`FaultPlan`]s of increasing
+//! severity (fault-free, 1e-3, 1e-2 read-burst + program-fail rates)
+//! and the bench reports, per rate:
+//!
+//! * **goodput** — pages delivered `Done` per *simulated* second (a
+//!   degraded page costs its retry ladder and still counts zero), and
+//! * **victim p99** — the 99th-percentile per-page read latency, which
+//!   captures the backoff rungs the retry ladder inserts on faulting
+//!   pages.
+//!
+//! The bench emits `BENCH_faults.json` (override the path with
+//! `BENCH_FAULTS_JSON`) and asserts the recovery contract from
+//! `docs/ARCHITECTURE.md`: at a 1e-3 fault rate the retry ladder must
+//! preserve at least 90% of fault-free goodput — degradation has to be
+//! graceful, not a cliff.
+
+use std::io::Write as _;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use iceclave_core::IceClave;
+use iceclave_experiments::{Mode, Overrides};
+use iceclave_flash::FaultPlan;
+use iceclave_types::{Lpn, SimTime, TeeId, PAGE_SIZE};
+
+const PAGES: u64 = 256;
+const BATCH_PAGES: u64 = 32;
+const ROUNDS: u64 = 4;
+const CHANNELS: u32 = 8;
+const SEED: u64 = 2021;
+
+/// The swept per-operation fault rates. `RATES[1]` is the rate the
+/// goodput floor is asserted at.
+const RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
+
+/// Minimum fraction of fault-free goodput the device must retain at a
+/// 1e-3 fault rate.
+const GOODPUT_FLOOR_AT_1E3: f64 = 0.9;
+
+/// What one swept rate produced.
+struct RatePoint {
+    rate: f64,
+    goodput_pages_per_sim_s: f64,
+    victim_p99_us: f64,
+    done_pages: u64,
+    failed_pages: u64,
+    read_retries: u64,
+    program_remaps: u64,
+    blocks_retired: u64,
+}
+
+/// A fresh single-TEE device over `PAGES` populated LPNs.
+fn setup() -> (IceClave, TeeId, Vec<Lpn>, SimTime) {
+    let overrides = Overrides {
+        channels: Some(CHANNELS),
+        ..Overrides::none()
+    };
+    let config = Mode::IceClave.ssd_config(&overrides);
+    let mut ice = IceClave::new(config);
+    let t = ice
+        .populate(Lpn::new(0), PAGES, SimTime::ZERO)
+        .expect("population fits");
+    let lpns: Vec<Lpn> = (0..PAGES).map(Lpn::new).collect();
+    let (tee, t) = ice.offload_code(64 << 10, &lpns, t).expect("offload");
+    (ice, tee, lpns, t)
+}
+
+/// Replays the fixed scenario at one fault rate: `ROUNDS` rounds of a
+/// full-range write wave followed by `PAGES / BATCH_PAGES` read
+/// batches, all drained to completion.
+fn run_rate(rate: f64) -> RatePoint {
+    let (mut ice, tee, lpns, mut t) = setup();
+    ice.install_fault_plan(FaultPlan {
+        seed: SEED,
+        read_burst_rate: rate,
+        max_burst: 16,
+        ecc_t: 8,
+        program_fail_rate: rate,
+        erase_fail_rate: rate,
+        ..FaultPlan::none()
+    });
+
+    let start = t;
+    let mut done_pages = 0u64;
+    let mut failed_pages = 0u64;
+    let mut read_latencies_us: Vec<f64> = Vec::new();
+    for _ in 0..ROUNDS {
+        let wt = ice
+            .submit_write_batch_async(tee, &lpns, t)
+            .expect("write batch");
+        let writes = ice.wait_write_batch(wt).expect("write wave completes");
+        t = writes.finished;
+        for c in &writes.completions {
+            if c.status.is_done() {
+                done_pages += 1;
+            } else {
+                failed_pages += 1;
+            }
+        }
+        for chunk in lpns.chunks(BATCH_PAGES as usize) {
+            let rt = ice.submit_batch_async(tee, chunk, t).expect("read batch");
+            let reads = ice.wait_batch(rt).expect("read batch completes");
+            for c in &reads.completions {
+                if c.status.is_done() {
+                    done_pages += 1;
+                    read_latencies_us
+                        .push(c.ready_at.as_micros_f64() - reads.issued.as_micros_f64());
+                } else {
+                    failed_pages += 1;
+                }
+            }
+            t = reads.finished;
+        }
+    }
+
+    let sim_elapsed_s = (t.as_secs_f64() - start.as_secs_f64()).max(f64::EPSILON);
+    read_latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p99_idx = (read_latencies_us.len().saturating_sub(1)) * 99 / 100;
+    let victim_p99_us = read_latencies_us.get(p99_idx).copied().unwrap_or(0.0);
+    let rt = ice.stats();
+    let ftl = ice.platform().ftl.stats();
+    RatePoint {
+        rate,
+        goodput_pages_per_sim_s: done_pages as f64 / sim_elapsed_s,
+        victim_p99_us,
+        done_pages,
+        failed_pages,
+        read_retries: rt.read_retries,
+        program_remaps: ftl.program_remaps,
+        blocks_retired: ftl.blocks_retired,
+    }
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let points: Vec<RatePoint> = RATES.iter().map(|&rate| run_rate(rate)).collect();
+    for p in &points {
+        println!(
+            "faults rate={:.0e}: goodput {:.0} pages/sim-s, victim p99 {:.1} us, \
+             {} done / {} failed, {} retries, {} remaps, {} blocks retired",
+            p.rate,
+            p.goodput_pages_per_sim_s,
+            p.victim_p99_us,
+            p.done_pages,
+            p.failed_pages,
+            p.read_retries,
+            p.program_remaps,
+            p.blocks_retired,
+        );
+    }
+    write_artifact(&points);
+
+    // The criterion group tracks the wall-clock cost of the faulting
+    // path itself (retry scheduling, remap bookkeeping) at the highest
+    // swept rate.
+    let mut group = c.benchmark_group("faults");
+    group.throughput(Throughput::Bytes(ROUNDS * 2 * PAGES * PAGE_SIZE));
+    group.bench_function("sweep_1e-2", |b| b.iter(|| run_rate(RATES[2]).done_pages));
+    group.finish();
+
+    // Recovery contract: a realistic 1e-3 fault rate must not cost more
+    // than 10% of fault-free goodput.
+    let fault_free = points[0].goodput_pages_per_sim_s;
+    let at_1e3 = points[1].goodput_pages_per_sim_s;
+    assert!(
+        at_1e3 >= GOODPUT_FLOOR_AT_1E3 * fault_free,
+        "goodput cliff at 1e-3 faults: {at_1e3:.0} pages/sim-s is below \
+         {GOODPUT_FLOOR_AT_1E3}x the fault-free {fault_free:.0} pages/sim-s"
+    );
+}
+
+/// Writes the sweep as JSON (no serde in the offline workspace; the
+/// format is flat enough to emit by hand).
+fn write_artifact(points: &[RatePoint]) {
+    let path =
+        std::env::var("BENCH_FAULTS_JSON").unwrap_or_else(|_| "BENCH_faults.json".to_string());
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        rows.push_str(&format!(
+            "    {{\n      \"rate\": {:e},\n      \"goodput_pages_per_sim_s\": {:.0},\n      \
+             \"victim_p99_us\": {:.1},\n      \"done_pages\": {},\n      \
+             \"failed_pages\": {},\n      \"read_retries\": {},\n      \
+             \"program_remaps\": {},\n      \"blocks_retired\": {}\n    }}{sep}\n",
+            p.rate,
+            p.goodput_pages_per_sim_s,
+            p.victim_p99_us,
+            p.done_pages,
+            p.failed_pages,
+            p.read_retries,
+            p.program_remaps,
+            p.blocks_retired,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"scenario\": \"1tee_{CHANNELS}ch_fault_sweep\",\n  \"pages\": {PAGES},\n  \
+         \"rounds\": {ROUNDS},\n  \"seed\": {SEED},\n  \
+         \"goodput_floor_at_1e-3\": {GOODPUT_FLOOR_AT_1E3},\n  \"points\": [\n{rows}  ]\n}}\n"
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote fault sweep to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(std::time::Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_faults
+}
+criterion_main!(benches);

@@ -32,19 +32,32 @@
 
 use iceclave_cipher::CipherEngine;
 use iceclave_exec::{Executor, StageEvent, StageMachine};
+use iceclave_ftl::FlashError;
 use iceclave_ftl::{FtlError, Requestor, SchedPolicy, WfqArbiter};
 use iceclave_isc::SsdPlatform;
 use iceclave_mee::{MeeEngine, PageClass, PageSeal, SealSpan};
 use iceclave_sim::Pipeline;
 use iceclave_types::{
-    BatchCompletion, CompletionEvent, LatencyBreakdown, Lpn, PageCompletion, PageStatus, PageWrite,
-    Ppn, SimTime, TeeId, Ticket, TicketKind, WriteBatchCompletion, WriteBatchRequest,
-    WritePageCompletion, WritePageRequest, PAGE_SIZE,
+    BatchCompletion, CompletionEvent, LatencyBreakdown, Lpn, PageCompletion, PageError,
+    PageErrorCause, PageStatus, PageWrite, Ppn, SimDuration, SimTime, TeeId, Ticket, TicketKind,
+    WriteBatchCompletion, WriteBatchRequest, WritePageCompletion, WritePageRequest, PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
 use crate::runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats};
 use crate::slab::{ErrorSlab, IvTable, JobTable};
+
+/// Read-retry ladder depth: how many times the FlashRead stage
+/// re-senses a page whose raw-bit-error burst exceeded the ECC before
+/// reporting it uncorrectable. Four rungs mirror a typical NAND
+/// read-retry table (shifted-Vref re-reads).
+pub const READ_RETRY_LIMIT: u32 = 4;
+
+/// Extra sensing latency per retry rung: rung `k` fires `k *
+/// READ_RETRY_STEP_US` microseconds after the failed attempt, modeling
+/// the progressively slower shifted-Vref / soft-decision re-reads of a
+/// real controller.
+pub const READ_RETRY_STEP_US: u64 = 60;
 
 /// One pipeline stage of an in-flight page (the executor's event
 /// payload).
@@ -88,6 +101,10 @@ struct PageState {
     /// Whether this page has already pushed its completion (used by
     /// ticket cancellation at TEE teardown to fail only the remainder).
     retired: bool,
+    /// Read attempts already spent on this page (0 = the first
+    /// FlashRead event; >0 = a retry-ladder rung, which must not
+    /// re-advance the ticket's FIFO chain).
+    attempts: u32,
     /// Read path: the ticket's next page on the same channel. Within a
     /// ticket each channel serves its pages FIFO in request order (the
     /// per-channel queue discipline of `Ftl::read_batch`); the chain
@@ -203,21 +220,55 @@ impl StageCtx<'_> {
         page: u32,
         at: SimTime,
         error: IceClaveError,
+        cause: PageErrorCause,
     ) {
         self.failed.record(ticket.raw(), error);
+        self.fail_page_with(exec, ticket, page, at, cause);
+    }
+
+    /// Retires `page` of `ticket` as a *soft* per-page failure at `at`:
+    /// the completion carries [`PageStatus::Failed`] with the structured
+    /// `reason`, but no ticket-level error is recorded — the blocking
+    /// waiters still return `Ok` and the batch degrades gracefully to a
+    /// partial completion.
+    fn fail_page_soft(
+        &mut self,
+        exec: &mut Executor<Stage>,
+        ticket: Ticket,
+        page: u32,
+        at: SimTime,
+        cause: PageErrorCause,
+    ) {
+        self.stats.pages_failed += 1;
+        self.fail_page_with(exec, ticket, page, at, cause);
+    }
+
+    fn fail_page_with(
+        &mut self,
+        exec: &mut Executor<Stage>,
+        ticket: Ticket,
+        page: u32,
+        at: SimTime,
+        cause: PageErrorCause,
+    ) {
         let Some(job) = self.jobs.get_mut(ticket.raw()) else {
             return;
         };
         let state = &mut job.pages[page as usize];
         state.breakdown.ready = at;
         state.retired = true;
+        let reason = PageError {
+            ppn: state.ppn,
+            attempts: state.attempts.max(1),
+            cause,
+        };
         let event = CompletionEvent {
             ticket,
             kind: job.kind,
             tee: job.tee,
             index: page,
             lpn: state.lpn,
-            status: PageStatus::Failed,
+            status: PageStatus::Failed { reason },
             breakdown: state.breakdown,
             data: None,
         };
@@ -263,7 +314,14 @@ impl StageCtx<'_> {
                 // abort; the ticket fails with the error.
                 let pages = job.pages.len() as u32;
                 for page in 0..pages {
-                    self.fail_page(exec, ev.ticket, page, ev.at, e.clone().into());
+                    self.fail_page(
+                        exec,
+                        ev.ticket,
+                        page,
+                        ev.at,
+                        e.clone().into(),
+                        PageErrorCause::ProgramFailed,
+                    );
                 }
                 return;
             }
@@ -359,10 +417,14 @@ impl StageMachine for StageCtx<'_> {
                     (page.lpn, page.ppn, page.breakdown.prepared)
                 };
                 // Advance the ticket's per-channel FIFO chain first, so
-                // the successor issues even if this page fails.
-                if let Some(next) = job.pages[idx].next_same_channel {
-                    let next_ready = job.pages[next as usize].breakdown.prepared;
-                    exec.schedule(next_ready.max(ev.at), ev.ticket, next, Stage::FlashRead);
+                // the successor issues even if this page fails. Retry
+                // rungs (`attempts > 0`) already advanced it on their
+                // first pass and must not double-schedule the successor.
+                if job.pages[idx].attempts == 0 {
+                    if let Some(next) = job.pages[idx].next_same_channel {
+                        let next_ready = job.pages[next as usize].breakdown.prepared;
+                        exec.schedule(next_ready.max(ev.at), ev.ticket, next, Stage::FlashRead);
+                    }
                 }
                 // Refresh the physical location: garbage collection
                 // triggered by a concurrent ticket may have relocated
@@ -421,6 +483,41 @@ impl StageMachine for StageCtx<'_> {
                             kick_channel(self.arbiter, exec, channel, floor);
                         }
                     }
+                    // An uncorrectable burst climbs the read-retry
+                    // ladder: re-sense the page with a stepped extra
+                    // latency per rung (shifted-Vref model), keeping
+                    // the WFQ grant — the channel really is busy
+                    // retrying. Each rung redraws the fault stream, so
+                    // transient bursts recover and only persistent ones
+                    // exhaust the budget.
+                    Err(FlashError::ReadUncorrectable { .. })
+                        if job.pages[idx].attempts + 1 < READ_RETRY_LIMIT =>
+                    {
+                        let page = &mut job.pages[idx];
+                        page.attempts += 1;
+                        self.stats.read_retries += 1;
+                        let backoff =
+                            SimDuration::from_micros(READ_RETRY_STEP_US * page.attempts as u64);
+                        exec.schedule(ev.at + backoff, ev.ticket, ev.page, Stage::FlashRead);
+                    }
+                    // Ladder exhausted: the page degrades to a soft
+                    // per-page failure — the rest of the ticket still
+                    // completes and the blocking waiters return `Ok`
+                    // with this page marked `Failed`.
+                    Err(FlashError::ReadUncorrectable { .. }) => {
+                        job.pages[idx].attempts += 1;
+                        self.stats.uncorrectable_pages += 1;
+                        if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
+                            kick_channel(self.arbiter, exec, channel, ev.at);
+                        }
+                        self.fail_page_soft(
+                            exec,
+                            ev.ticket,
+                            ev.page,
+                            ev.at,
+                            PageErrorCause::Uncorrectable,
+                        );
+                    }
                     // A stale mapping is an internal invariant
                     // violation; surface it as a failed page rather
                     // than a panic.
@@ -428,7 +525,14 @@ impl StageMachine for StageCtx<'_> {
                         if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
                             kick_channel(self.arbiter, exec, channel, ev.at);
                         }
-                        self.fail_page(exec, ev.ticket, ev.page, ev.at, FtlError::from(e).into())
+                        self.fail_page(
+                            exec,
+                            ev.ticket,
+                            ev.page,
+                            ev.at,
+                            FtlError::from(e).into(),
+                            PageErrorCause::Uncorrectable,
+                        )
                     }
                 }
             }
@@ -657,6 +761,7 @@ impl IceClave {
                     breakdown,
                     payload: snapshot,
                     retired: false,
+                    attempts: 0,
                     next_same_channel: None,
                 }
             })
@@ -833,6 +938,7 @@ impl IceClave {
                     breakdown,
                     payload: write.data,
                     retired: false,
+                    attempts: 0,
                     next_same_channel: None,
                 }
             })
@@ -983,7 +1089,13 @@ impl IceClave {
                     tee,
                     index: index as u32,
                     lpn: page.lpn,
-                    status: PageStatus::Failed,
+                    status: PageStatus::Failed {
+                        reason: PageError {
+                            ppn: page.ppn,
+                            attempts: page.attempts,
+                            cause: PageErrorCause::Cancelled,
+                        },
+                    },
                     breakdown: page.breakdown,
                     data: None,
                 });
@@ -1047,6 +1159,7 @@ impl IceClave {
                 lpn: e.lpn,
                 ready_at: e.breakdown.ready,
                 data: e.data,
+                status: e.status,
             })
             .collect();
         Ok(BatchCompletion {
@@ -1076,6 +1189,7 @@ impl IceClave {
             .map(|e| WritePageCompletion {
                 lpn: e.lpn,
                 durable_at: e.breakdown.ready,
+                status: e.status,
             })
             .collect();
         Ok(WriteBatchCompletion {

@@ -58,7 +58,7 @@ pub mod runtime;
 mod slab;
 
 pub use config::{FairnessConfig, IceClaveConfig};
-pub use exec_driver::Stage;
+pub use exec_driver::{Stage, READ_RETRY_LIMIT, READ_RETRY_STEP_US};
 pub use host::{HostLibrary, OffloadResult, OffloadTicket};
 pub use iceclave_ftl::SchedPolicy;
 pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

@@ -7,9 +7,9 @@ use std::fmt;
 
 use iceclave_cipher::CipherEngine;
 use iceclave_cpu::OpCounts;
-use iceclave_ftl::{FtlError, Requestor};
+use iceclave_ftl::{FaultPlan, FtlError, Requestor};
 use iceclave_isc::SsdPlatform;
-use iceclave_mee::{MeeEngine, PageClass};
+use iceclave_mee::{MacFaultPlan, MeeEngine, PageClass};
 use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
@@ -80,6 +80,13 @@ pub enum IceClaveError {
     /// `poll_completions`/`drain_completions` (mixing the two drain
     /// styles on one ticket is not supported).
     UnknownTicket(iceclave_types::Ticket),
+    /// A metadata MAC mismatch survived the authoritative home-walk
+    /// fallback: the memory is genuinely tampered with, and the TEE has
+    /// been thrown out with [`AbortReason::IntegrityFailure`] (§4.5).
+    Integrity {
+        /// The TEE whose protected memory failed verification.
+        tee: TeeId,
+    },
     /// The read submission would push the TEE past its configured
     /// per-tenant channel budget
     /// ([`crate::FairnessConfig::channel_budget`]): admission control
@@ -110,6 +117,9 @@ impl fmt::Display for IceClaveError {
             }
             IceClaveError::UnknownTicket(ticket) => {
                 write!(f, "{ticket} is unknown or already drained")
+            }
+            IceClaveError::Integrity { tee } => {
+                write!(f, "{tee} failed memory integrity verification")
             }
             IceClaveError::ChannelBudgetExceeded { tee, channel } => {
                 write!(f, "{tee} exceeded its queue budget on channel {channel}")
@@ -155,6 +165,12 @@ pub struct RuntimeStats {
     pub pages_loaded: u64,
     /// Pages drained out of TEEs and programmed to flash.
     pub pages_stored: u64,
+    /// Read attempts re-issued by the executor's read-retry ladder.
+    pub read_retries: u64,
+    /// Read pages that exhausted the retry ladder (uncorrectable).
+    pub uncorrectable_pages: u64,
+    /// Pages that completed `Failed` instead of aborting their batch.
+    pub pages_failed: u64,
 }
 
 #[derive(Debug)]
@@ -338,6 +354,22 @@ impl IceClave {
     /// The stream-cipher engine (for functional encryption in tests).
     pub fn cipher_mut(&mut self) -> &mut CipherEngine {
         &mut self.cipher
+    }
+
+    /// Installs a deterministic flash fault schedule: born-bad blocks
+    /// retire into the FTL's grown-bad table immediately, and every
+    /// subsequent device operation draws from the plan's sub-streams
+    /// (see `iceclave_flash::faults`).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.platform.ftl.install_fault_plan(plan);
+    }
+
+    /// Installs a deterministic L2 MAC-check fault schedule on the MEE
+    /// (see `iceclave_mee::faults`). Corruption mismatches recover
+    /// internally; tampering escalates to [`IceClaveError::Integrity`]
+    /// at the next protected access.
+    pub fn install_mac_fault_plan(&mut self, plan: MacFaultPlan) {
+        self.mee.install_mac_fault_plan(plan);
     }
 
     /// The TZASC memory map (Figure 4).
@@ -692,7 +724,9 @@ impl IceClave {
         now: SimTime,
     ) -> Result<SimTime, IceClaveError> {
         let line = self.checked_line(tee, line_offset)?;
-        Ok(self.mee.read_line(&mut self.platform.dram, line, now))
+        let done = self.mee.read_line(&mut self.platform.dram, line, now);
+        self.escalate_tamper(tee, done)?;
+        Ok(done)
     }
 
     /// A protected write of one cache line at `line_offset` within the
@@ -708,7 +742,21 @@ impl IceClave {
         now: SimTime,
     ) -> Result<SimTime, IceClaveError> {
         let line = self.checked_line(tee, line_offset)?;
-        Ok(self.mee.write_line(&mut self.platform.dram, line, now))
+        let done = self.mee.write_line(&mut self.platform.dram, line, now);
+        self.escalate_tamper(tee, done)?;
+        Ok(done)
+    }
+
+    /// Escalates a pending MEE tamper event: corruption is absorbed
+    /// inside the engine (home-walk fallback), so a latched event means
+    /// the authoritative walk failed too — throw the TEE out with an
+    /// integrity abort, exactly the §4.5 ThrowOutTEE path.
+    fn escalate_tamper(&mut self, tee: TeeId, now: SimTime) -> Result<(), IceClaveError> {
+        if self.mee.take_tamper_event() {
+            let _ = self.throw_out(tee, AbortReason::IntegrityFailure, now);
+            return Err(IceClaveError::Integrity { tee });
+        }
+        Ok(())
     }
 
     /// Runs a compute demand for the TEE on the embedded cores.
@@ -1137,6 +1185,69 @@ mod tests {
         let done = ice.submit_write_batch(tee, &[], t).unwrap();
         assert!(done.is_empty());
         assert_eq!(done.finished, t);
+    }
+
+    /// A runtime whose MEE thrashes its tiny counter cache into a
+    /// small L2 store, so protected reads produce L2 MAC checks.
+    fn setup_thrashing_l2() -> (IceClave, TeeId, SimTime) {
+        let mut cfg = IceClaveConfig::tiny();
+        cfg.mee.counter_cache = ByteSize::from_kib(4);
+        cfg.mee = cfg.mee.with_l2(ByteSize::from_kib(64));
+        let mut ice = IceClave::new(cfg);
+        let t = ice.populate(Lpn::new(0), 2, SimTime::ZERO).unwrap();
+        let (tee, t) = ice.offload_code(1024, &lpns(0..2), t).unwrap();
+        (ice, tee, t)
+    }
+
+    #[test]
+    fn mac_corruption_recovers_without_aborting() {
+        let (mut ice, tee, mut t) = setup_thrashing_l2();
+        ice.install_mac_fault_plan(iceclave_mee::MacFaultPlan {
+            mismatch_ops: vec![0, 1],
+            ..iceclave_mee::MacFaultPlan::none()
+        });
+        // Two passes over 512 pages: pass 1 demotes counters into L2,
+        // pass 2 hits them — the scripted MAC mismatches recover via
+        // the home Merkle walk and the program never notices.
+        for _ in 0..2 {
+            for page in 0..512u64 {
+                t = ice.mem_read(tee, page * LINES_PER_PAGE, t).unwrap();
+            }
+        }
+        assert_eq!(ice.mee().stats().mac_fallbacks, 2);
+        assert_eq!(ice.mee().stats().tamper_events, 0);
+        assert_eq!(ice.status(tee), Some(TeeStatus::Running));
+    }
+
+    #[test]
+    fn tampered_metadata_throws_the_tee_out() {
+        let (mut ice, tee, mut t) = setup_thrashing_l2();
+        ice.install_mac_fault_plan(iceclave_mee::MacFaultPlan {
+            tamper_ops: vec![0],
+            ..iceclave_mee::MacFaultPlan::none()
+        });
+        let mut err = None;
+        'sweep: for _ in 0..3 {
+            for page in 0..512u64 {
+                match ice.mem_read(tee, page * LINES_PER_PAGE, t) {
+                    Ok(done) => t = done,
+                    Err(e) => {
+                        err = Some(e);
+                        break 'sweep;
+                    }
+                }
+            }
+        }
+        // Only when the authoritative walk also fails does the access
+        // escalate to the paper's ThrowOutTEE integrity abort.
+        assert_eq!(err, Some(IceClaveError::Integrity { tee }));
+        assert_eq!(
+            ice.status(tee),
+            Some(TeeStatus::Aborted(AbortReason::IntegrityFailure))
+        );
+        assert_eq!(ice.mee().stats().tamper_events, 1);
+        // The dead TEE rejects further accesses.
+        assert!(ice.mem_read(tee, 0, t).is_err());
     }
 
     #[test]

@@ -151,6 +151,7 @@ impl CompletionQueue {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iceclave_types::{LatencyBreakdown, Lpn, PageStatus, SimDuration, TeeId, TicketKind};

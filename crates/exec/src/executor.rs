@@ -391,6 +391,7 @@ impl<S> Default for Executor<S> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iceclave_types::{LatencyBreakdown, Lpn, PageStatus, SimDuration, TeeId};

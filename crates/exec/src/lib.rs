@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
 
 pub mod completion;
 pub mod executor;

@@ -16,7 +16,7 @@ use iceclave_isc::SsdPlatform;
 use iceclave_mee::{CounterMode, MeeConfig, MeeEngine, PageClass};
 use iceclave_sim::{Resource, ResourcePool, SimRng};
 use iceclave_types::{
-    ByteSize, CacheLine, Lpn, SimDuration, SimTime, TeeId, LINES_PER_PAGE, PAGE_SIZE,
+    ByteSize, CacheLine, FaultStats, Lpn, SimDuration, SimTime, TeeId, LINES_PER_PAGE, PAGE_SIZE,
 };
 use iceclave_workloads::{Batch, Workload, WorkloadConfig, WorkloadKind, WorkloadOutput};
 
@@ -62,6 +62,9 @@ pub struct RunResult {
     pub ver_traffic: f64,
     /// World switches taken.
     pub world_switches: u64,
+    /// Fault-and-recovery accounting (all zero when no fault plan was
+    /// installed; see `iceclave_flash::faults`).
+    pub faults: FaultStats,
     /// Energy breakdown of the run (derived from activity counters).
     pub energy: crate::energy::EnergyBreakdown,
     /// The workload's computed answer (identical across modes).
@@ -486,6 +489,16 @@ fn run_ssd_with(
         mee_ops: mee_stats.encryptions + mee_stats.verifications,
     };
     let energy = crate::energy::EnergyModel::default().evaluate(&activity);
+    let ftl_stats = ice.platform().ftl.stats();
+    let rt_stats = ice.stats();
+    let faults = FaultStats {
+        read_retries: rt_stats.read_retries,
+        uncorrectable_pages: rt_stats.uncorrectable_pages,
+        corrected_bursts: flash_stats.corrected_bursts,
+        program_remaps: ftl_stats.program_remaps,
+        blocks_retired: ftl_stats.blocks_retired,
+        mac_fallbacks: mee_stats.mac_fallbacks,
+    };
     Ok(RunResult {
         workload: kind,
         mode,
@@ -505,6 +518,7 @@ fn run_ssd_with(
         ver_traffic: mee_stats.verification_traffic_overhead(),
         world_switches: ice.platform().monitor.stats().switches,
         energy,
+        faults,
         output,
     })
 }
@@ -764,6 +778,7 @@ fn run_host(
         ver_traffic: mee_stats.verification_traffic_overhead(),
         world_switches: platform.monitor.stats().switches,
         energy,
+        faults: FaultStats::default(),
         output,
     }
 }

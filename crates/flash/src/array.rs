@@ -7,6 +7,7 @@ use std::fmt;
 use iceclave_sim::{Histogram, Resource, ServiceSpan};
 use iceclave_types::{FastMap, Ppn, SimTime};
 
+use crate::faults::{FaultInjector, ReadFault};
 use crate::{BlockAddr, FlashConfig};
 
 /// Errors returned by flash operations that violate the NAND contract.
@@ -25,6 +26,23 @@ pub enum FlashError {
     },
     /// Address beyond the device geometry.
     OutOfRange(Ppn),
+    /// An injected raw-bit-error burst exceeded the ECC correction
+    /// strength: the page transferred but its payload is unusable. A
+    /// retry may succeed (transient bursts) — the executor's
+    /// read-retry ladder handles the policy.
+    ReadUncorrectable {
+        /// The page whose codewords failed to decode.
+        ppn: Ppn,
+        /// Raw byte errors in the worst codeword (> the ECC `t`).
+        raw_errors: u32,
+    },
+    /// The die reported program status FAIL. The page's content is
+    /// indeterminate and the block must be treated as grown bad; the
+    /// FTL re-steers the page elsewhere.
+    ProgramFailed(Ppn),
+    /// The die reported erase status FAIL: the block is worn out and
+    /// must be retired to the grown-bad-block table.
+    EraseFailed(BlockAddr),
 }
 
 impl fmt::Display for FlashError {
@@ -36,6 +54,14 @@ impl fmt::Display for FlashError {
                 "out-of-order program of {ppn}; block expects page {expected_page} next"
             ),
             FlashError::OutOfRange(ppn) => write!(f, "{ppn} is beyond the device"),
+            FlashError::ReadUncorrectable { ppn, raw_errors } => write!(
+                f,
+                "uncorrectable read of {ppn}: {raw_errors} raw byte errors exceed the ECC"
+            ),
+            FlashError::ProgramFailed(ppn) => write!(f, "program of {ppn} reported status FAIL"),
+            FlashError::EraseFailed(block) => {
+                write!(f, "erase of {block} reported status FAIL")
+            }
         }
     }
 }
@@ -57,6 +83,14 @@ pub struct FlashStats {
     pub bytes_written: u64,
     /// End-to-end page read latency (ns) distribution.
     pub read_latency_ns: Histogram,
+    /// Injected raw-bit-error bursts the ECC corrected transparently.
+    pub corrected_bursts: u64,
+    /// Injected uncorrectable read faults surfaced to the caller.
+    pub read_faults: u64,
+    /// Injected program status-FAIL events.
+    pub program_faults: u64,
+    /// Injected erase status-FAIL events.
+    pub erase_faults: u64,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -96,6 +130,10 @@ pub struct FlashArray {
     /// indexing would cost gigabytes for a 1 TiB geometry.
     data: FastMap<u64, Box<[u8]>>,
     stats: FlashStats,
+    /// Deterministic fault drawer; `None` (the default) injects
+    /// nothing and leaves every path bit-identical to a fault-free
+    /// device.
+    injector: Option<FaultInjector>,
 }
 
 impl FlashArray {
@@ -116,6 +154,7 @@ impl FlashArray {
             channels,
             data: FastMap::default(),
             stats: FlashStats::default(),
+            injector: None,
         }
     }
 
@@ -124,19 +163,62 @@ impl FlashArray {
         &self.config
     }
 
+    /// Installs a deterministic fault injector. Subsequent reads,
+    /// programs and erases consume draws from it; an injector built
+    /// from [`FaultPlan::none`](crate::FaultPlan::none) behaves
+    /// bit-identically to having no injector at all.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
     /// Reads a page: die busy for the cell-read time, then the channel
     /// bus busy for the page transfer. Returns the bus-transfer span
     /// (`end` is when the data has reached the controller).
     ///
     /// # Errors
     ///
-    /// [`FlashError::OutOfRange`] or [`FlashError::ReadUnwritten`].
+    /// [`FlashError::OutOfRange`], [`FlashError::ReadUnwritten`], or an
+    /// injected [`FlashError::ReadUncorrectable`].
     pub fn read_page(&mut self, ppn: Ppn, arrival: SimTime) -> Result<ServiceSpan, FlashError> {
+        self.read_page_inner(ppn, arrival, true)
+    }
+
+    /// A device-internal relocation read (GC, wear leveling): the
+    /// controller re-reads with the slow soft-decision retry path,
+    /// modeled as always correctable, so fault injection does not
+    /// apply. Timing is identical to [`FlashArray::read_page`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::OutOfRange`] or [`FlashError::ReadUnwritten`].
+    pub fn read_page_reliable(
+        &mut self,
+        ppn: Ppn,
+        arrival: SimTime,
+    ) -> Result<ServiceSpan, FlashError> {
+        self.read_page_inner(ppn, arrival, false)
+    }
+
+    fn read_page_inner(
+        &mut self,
+        ppn: Ppn,
+        arrival: SimTime,
+        inject: bool,
+    ) -> Result<ServiceSpan, FlashError> {
         let addr = self.checked_addr(ppn)?;
         let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
         if addr.page >= self.blocks[block_idx].frontier {
             return Err(FlashError::ReadUnwritten(ppn));
         }
+        let fault = match (inject, self.injector.as_mut()) {
+            (true, Some(inj)) => inj.read_outcome(),
+            _ => ReadFault::None,
+        };
         let die_idx = self
             .config
             .geometry
@@ -146,6 +228,16 @@ impl FlashArray {
             .acquire(cell.end, self.config.page_transfer_time());
         self.stats.reads += 1;
         self.stats.bytes_read += u64::from(self.config.geometry.page_size);
+        // A failed read occupies the die and the bus like a good one
+        // (the burst is only detected after the transfer decodes), but
+        // delivers no data: it counts no latency sample.
+        if let ReadFault::Uncorrectable(raw_errors) = fault {
+            self.stats.read_faults += 1;
+            return Err(FlashError::ReadUncorrectable { ppn, raw_errors });
+        }
+        if let ReadFault::Corrected(_) = fault {
+            self.stats.corrected_bursts += 1;
+        }
         self.stats
             .read_latency_ns
             .record(xfer.latency_since(arrival).as_nanos());
@@ -165,12 +257,16 @@ impl FlashArray {
     /// sum — the channel-parallelism effect of Figures 12–13.
     ///
     /// The batch is validated before any timeline is touched: one bad
-    /// address leaves the device state unchanged.
+    /// address leaves the device state unchanged. Injected read faults
+    /// are *not* part of that validation — they surface per page, so a
+    /// mid-batch uncorrectable read aborts the batch after the earlier
+    /// pages transferred (exactly as the device would).
     ///
     /// # Errors
     ///
     /// [`FlashError::OutOfRange`] or [`FlashError::ReadUnwritten`] for
-    /// the first invalid request.
+    /// the first invalid request; [`FlashError::ReadUncorrectable`]
+    /// for the first injected fault.
     pub fn read_pages(
         &mut self,
         requests: &[(Ppn, SimTime)],
@@ -182,13 +278,10 @@ impl FlashArray {
                 return Err(FlashError::ReadUnwritten(ppn));
             }
         }
-        Ok(requests
+        requests
             .iter()
-            .map(|&(ppn, arrival)| {
-                self.read_page(ppn, arrival)
-                    .expect("batch was validated up front")
-            })
-            .collect())
+            .map(|&(ppn, arrival)| self.read_page(ppn, arrival))
+            .collect()
     }
 
     /// Programs a page: channel bus transfers the data to the die
@@ -200,7 +293,8 @@ impl FlashArray {
     ///
     /// # Errors
     ///
-    /// [`FlashError::OutOfRange`] or [`FlashError::ProgramOutOfOrder`].
+    /// [`FlashError::OutOfRange`], [`FlashError::ProgramOutOfOrder`],
+    /// or an injected [`FlashError::ProgramFailed`].
     pub fn program_page(&mut self, ppn: Ppn, arrival: SimTime) -> Result<ServiceSpan, FlashError> {
         let addr = self.checked_addr(ppn)?;
         let block_idx = self.config.geometry.block_index(addr.block_addr()) as usize;
@@ -211,6 +305,10 @@ impl FlashArray {
                 expected_page: frontier,
             });
         }
+        let failed = self
+            .injector
+            .as_mut()
+            .is_some_and(FaultInjector::program_fails);
         let die_idx = self
             .config
             .geometry
@@ -218,6 +316,13 @@ impl FlashArray {
         let xfer =
             self.channels[addr.channel as usize].acquire(arrival, self.config.page_transfer_time());
         let prog = self.dies[die_idx].acquire(xfer.end, self.config.timing.program);
+        // A failed program occupies the bus and the die for the full
+        // attempt, but the frontier does not advance: the page stays
+        // unwritten and the FTL re-steers it to another block.
+        if failed {
+            self.stats.program_faults += 1;
+            return Err(FlashError::ProgramFailed(ppn));
+        }
         self.blocks[block_idx].frontier = frontier + 1;
         self.stats.programs += 1;
         self.stats.bytes_written += u64::from(self.config.geometry.page_size);
@@ -246,7 +351,9 @@ impl FlashArray {
     /// # Errors
     ///
     /// [`FlashError::OutOfRange`] or [`FlashError::ProgramOutOfOrder`]
-    /// for the first invalid request.
+    /// for the first invalid request; [`FlashError::ProgramFailed`]
+    /// for the first injected fault (earlier pages of the batch stay
+    /// programmed — the caller's remap path takes over).
     pub fn program_pages(
         &mut self,
         requests: &[(Ppn, SimTime)],
@@ -265,22 +372,37 @@ impl FlashArray {
             }
             *pending += 1;
         }
-        Ok(requests
+        requests
             .iter()
-            .map(|&(ppn, arrival)| {
-                self.program_page(ppn, arrival)
-                    .expect("batch was validated up front")
-            })
-            .collect())
+            .map(|&(ppn, arrival)| self.program_page(ppn, arrival))
+            .collect()
     }
 
     /// Erases a block: the die is busy for the erase time; all pages in
     /// the block revert to free and any stored content is dropped.
-    pub fn erase_block(&mut self, block: BlockAddr, arrival: SimTime) -> ServiceSpan {
+    ///
+    /// # Errors
+    ///
+    /// An injected [`FlashError::EraseFailed`]: the die was busy for
+    /// the full erase attempt but the block state (frontier, content,
+    /// wear count) is unchanged — the FTL retires the block.
+    pub fn erase_block(
+        &mut self,
+        block: BlockAddr,
+        arrival: SimTime,
+    ) -> Result<ServiceSpan, FlashError> {
         let g = self.config.geometry;
         let block_idx = g.block_index(block) as usize;
         let die_idx = g.die_index(block.channel, block.chip, block.die) as usize;
+        let failed = self
+            .injector
+            .as_mut()
+            .is_some_and(FaultInjector::erase_fails);
         let span = self.dies[die_idx].acquire(arrival, self.config.timing.erase);
+        if failed {
+            self.stats.erase_faults += 1;
+            return Err(FlashError::EraseFailed(block));
+        }
         let first_ppn = g.pack(block.page(0)).raw();
         for page in 0..u64::from(g.pages_per_block) {
             self.data.remove(&(first_ppn + page));
@@ -289,7 +411,7 @@ impl FlashArray {
         state.frontier = 0;
         state.erase_count += 1;
         self.stats.erases += 1;
-        span
+        Ok(span)
     }
 
     /// Stores functional content for a page (used by the cipher/TEE
@@ -353,8 +475,10 @@ impl FlashArray {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use iceclave_types::SimDuration;
 
     fn tiny() -> FlashArray {
@@ -445,7 +569,7 @@ mod tests {
         a.write_data(ppn, b"hello");
         let block = a.config().geometry.unpack(ppn).block_addr();
         assert_eq!(a.erase_count(block), 0);
-        a.erase_block(block, SimTime::ZERO);
+        a.erase_block(block, SimTime::ZERO).unwrap();
         assert_eq!(a.erase_count(block), 1);
         assert_eq!(a.frontier(block), 0);
         assert!(a.read_data(ppn).is_none());
@@ -534,5 +658,110 @@ mod tests {
         assert!(a.read_data(ppn).is_none());
         a.write_data(ppn, &[1, 2, 3]);
         assert_eq!(a.read_data(ppn), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn injected_uncorrectable_read_fails_without_losing_the_page() {
+        let mut a = tiny();
+        a.set_fault_injector(crate::FaultInjector::new(FaultPlan {
+            read_fail_ops: vec![0],
+            ecc_t: 8,
+            ..FaultPlan::none()
+        }));
+        let ppn = Ppn::new(0);
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+        a.write_data(ppn, b"payload");
+        assert!(matches!(
+            a.read_page(ppn, SimTime::ZERO),
+            Err(FlashError::ReadUncorrectable { raw_errors: 9, .. })
+        ));
+        assert_eq!(a.stats().read_faults, 1);
+        // The next read (a retry) succeeds; content was never touched.
+        assert!(a.read_page(ppn, SimTime::ZERO).is_ok());
+        assert_eq!(a.read_data(ppn), Some(&b"payload"[..]));
+        // Failed reads occupy the die/bus but record no latency sample.
+        assert_eq!(a.stats().reads, 2);
+        assert_eq!(a.stats().read_latency_ns.count(), 1);
+    }
+
+    #[test]
+    fn reliable_reads_bypass_injection() {
+        let mut a = tiny();
+        a.set_fault_injector(crate::FaultInjector::new(FaultPlan {
+            read_fail_ops: vec![0, 1, 2, 3],
+            ecc_t: 8,
+            ..FaultPlan::none()
+        }));
+        let ppn = Ppn::new(0);
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+        // GC relocation reads never consume fault draws.
+        assert!(a.read_page_reliable(ppn, SimTime::ZERO).is_ok());
+        assert!(a.read_page(ppn, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn injected_program_fail_leaves_frontier_unmoved() {
+        let mut a = tiny();
+        a.set_fault_injector(crate::FaultInjector::new(FaultPlan {
+            program_fail_ops: vec![1],
+            ..FaultPlan::none()
+        }));
+        a.program_page(Ppn::new(0), SimTime::ZERO).unwrap();
+        let failing = Ppn::new(1);
+        assert_eq!(
+            a.program_page(failing, SimTime::ZERO),
+            Err(FlashError::ProgramFailed(failing))
+        );
+        let block = a.config().geometry.unpack(failing).block_addr();
+        assert_eq!(a.frontier(block), 1, "failed program must not advance");
+        assert_eq!(a.stats().program_faults, 1);
+        assert_eq!(a.stats().programs, 1);
+        // A healthy block would accept the page again (the FTL instead
+        // re-steers to a different block and retires this one).
+        assert!(a.program_page(failing, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn injected_erase_fail_preserves_block_state() {
+        let mut a = tiny();
+        a.set_fault_injector(crate::FaultInjector::new(FaultPlan {
+            erase_fail_ops: vec![0],
+            ..FaultPlan::none()
+        }));
+        let ppn = Ppn::new(0);
+        a.program_page(ppn, SimTime::ZERO).unwrap();
+        a.write_data(ppn, b"kept");
+        let block = a.config().geometry.unpack(ppn).block_addr();
+        assert_eq!(
+            a.erase_block(block, SimTime::ZERO),
+            Err(FlashError::EraseFailed(block))
+        );
+        assert_eq!(a.frontier(block), 1, "failed erase leaves the frontier");
+        assert_eq!(a.read_data(ppn), Some(&b"kept"[..]));
+        assert_eq!(a.erase_count(block), 0);
+        assert_eq!(a.stats().erase_faults, 1);
+        assert_eq!(a.stats().erases, 0);
+    }
+
+    #[test]
+    fn empty_plan_matches_no_injector() {
+        let mut plain = tiny();
+        let mut planned = tiny();
+        planned.set_fault_injector(crate::FaultInjector::new(FaultPlan::none()));
+        for p in 0..4 {
+            let a = plain.program_page(Ppn::new(p), SimTime::ZERO).unwrap();
+            let b = planned.program_page(Ppn::new(p), SimTime::ZERO).unwrap();
+            assert_eq!(a, b);
+        }
+        for p in 0..4 {
+            let a = plain.read_page(Ppn::new(p), SimTime::ZERO).unwrap();
+            let b = planned.read_page(Ppn::new(p), SimTime::ZERO).unwrap();
+            assert_eq!(a, b);
+        }
+        let block = plain.config().geometry.unpack(Ppn::new(0)).block_addr();
+        assert_eq!(
+            plain.erase_block(block, SimTime::ZERO).unwrap(),
+            planned.erase_block(block, SimTime::ZERO).unwrap()
+        );
     }
 }

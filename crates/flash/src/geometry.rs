@@ -287,6 +287,7 @@ impl fmt::Display for BlockAddr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

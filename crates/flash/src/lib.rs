@@ -28,13 +28,16 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
 
 pub mod array;
 pub mod config;
 pub mod ecc;
+pub mod faults;
 pub mod geometry;
 
 pub use array::{FlashArray, FlashError, FlashStats};
 pub use config::{FlashConfig, FlashTiming};
 pub use ecc::EccCodec;
+pub use faults::{FaultInjector, FaultPlan, ReadFault};
 pub use geometry::{BlockAddr, FlashAddr, FlashGeometry};

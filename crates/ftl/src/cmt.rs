@@ -170,6 +170,7 @@ impl CachedMappingTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

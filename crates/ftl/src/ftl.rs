@@ -5,11 +5,12 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use iceclave_flash::{BlockAddr, FlashArray, FlashConfig, FlashError};
+use iceclave_flash::{BlockAddr, FaultInjector, FaultPlan, FlashArray, FlashConfig, FlashError};
 use iceclave_sim::ServiceSpan;
 use iceclave_trustzone::{World, WorldMonitor};
 use iceclave_types::{
-    BatchRequest, ByteSize, FastMap, Lpn, Ppn, SimDuration, SimTime, TeeId, WriteBatchRequest,
+    BatchRequest, ByteSize, FastMap, FastSet, Lpn, Ppn, SimDuration, SimTime, TeeId,
+    WriteBatchRequest,
 };
 
 use crate::cmt::CachedMappingTable;
@@ -194,6 +195,12 @@ pub struct FtlStats {
     pub writes: u64,
     /// Accesses denied by the ID-bit check.
     pub access_denied: u64,
+    /// Pages re-steered to another block after a program failure.
+    pub program_remaps: u64,
+    /// Blocks retired into the grown-bad-block table at runtime
+    /// (program-failure and erase-failure retirements; the factory
+    /// born-bad list does not count here).
+    pub blocks_retired: u64,
 }
 
 /// What a physical page currently holds (for GC relocation and mapping
@@ -303,6 +310,11 @@ struct PlaneState {
     next_fresh: u32,
     free_blocks: Vec<u32>,
     full_blocks: Vec<u32>,
+    /// Grown/born-bad blocks still inside the fresh range
+    /// `next_fresh..blocks_per_plane` — subtracted from the free count
+    /// and skipped (decrementing this) when the fresh cursor passes
+    /// them, so `free_block_count` stays O(1).
+    retired_fresh: u32,
 }
 
 /// The flash translation layer.
@@ -332,6 +344,11 @@ pub struct Ftl {
     /// Last request granule translated via a secure-world call (the
     /// Figure 5 ablation amortizes one call per granule).
     last_secure_granule: Option<u64>,
+    /// The grown-bad-block table: flat block indexes (see
+    /// [`FlashGeometry::block_index`](iceclave_flash::FlashGeometry::block_index))
+    /// permanently retired from allocation — factory born-bad blocks
+    /// plus blocks whose program or erase reported status FAIL.
+    grown_bad: FastSet<u64>,
     stats: FtlStats,
 }
 
@@ -352,8 +369,33 @@ impl Ftl {
             plane_cursor: 0,
             channel_cursors: vec![0; flash_config.geometry.channels as usize],
             last_secure_granule: None,
+            grown_bad: FastSet::default(),
             stats: FtlStats::default(),
         }
+    }
+
+    /// Installs a deterministic fault plan on the underlying flash
+    /// array and seeds the grown-bad-block table with the plan's
+    /// factory born-bad list.
+    ///
+    /// Install before first use for full born-bad semantics: blocks
+    /// already holding data keep it readable but accept no further
+    /// programs.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let injector = FaultInjector::new(plan);
+        let g = self.flash.config().geometry;
+        for idx in injector.born_bad_blocks(g.total_blocks()) {
+            self.retire_block(g.block_from_index(idx), false);
+        }
+        self.flash.set_fault_injector(injector);
+    }
+
+    /// The grown-bad-block table as sorted flat block indexes: factory
+    /// born-bad blocks plus runtime retirements.
+    pub fn grown_bad_blocks(&self) -> Vec<u64> {
+        let mut blocks: Vec<u64> = self.grown_bad.iter().copied().collect();
+        blocks.sort_unstable();
+        blocks
     }
 
     /// The FTL configuration.
@@ -632,8 +674,7 @@ impl Ftl {
             }
         }
         let start = monitor.switch_to(World::Secure, now);
-        let (ppn, gc_done) = self.allocate(start)?;
-        let span = self.flash.program_page(ppn, gc_done)?;
+        let (ppn, span) = self.program_fresh_page(start)?;
         let old = self.mapping.update(lpn, ppn);
         if let Requestor::Tee(tee) = requestor {
             // A fresh page written by a TEE belongs to that TEE.
@@ -873,7 +914,7 @@ impl Ftl {
         }
         let tvpn = CachedMappingTable::translation_page_of(_lpn);
         if let Some(ppn) = self.translation_ppns.get(tvpn).copied() {
-            if let Ok(span) = self.flash.read_page(ppn, t) {
+            if let Ok(span) = self.flash.read_page_reliable(ppn, t) {
                 t = span.end;
             }
         }
@@ -881,13 +922,33 @@ impl Ftl {
     }
 
     fn persist_translation_page(&mut self, tvpn: u64, now: SimTime) -> Result<SimTime, FtlError> {
-        let (ppn, t) = self.allocate(now)?;
-        let span = self.flash.program_page(ppn, t)?;
+        let (ppn, span) = self.program_fresh_page(now)?;
         if let Some(old) = self.translation_ppns.insert(tvpn, ppn) {
             self.invalidate(old);
         }
         self.mark_valid(ppn, PageContent::Translation(tvpn), span.end);
         Ok(span.end)
+    }
+
+    /// Allocates a fresh page and programs it, retiring the target
+    /// block and re-steering whenever the program reports status FAIL
+    /// — the single-page mirror of the batch remap path. Terminates
+    /// because every failure permanently retires one block.
+    fn program_fresh_page(&mut self, now: SimTime) -> Result<(Ppn, ServiceSpan), FtlError> {
+        let mut t = now;
+        loop {
+            let (ppn, gc_done) = self.allocate(t)?;
+            match self.flash.program_page(ppn, gc_done) {
+                Ok(span) => return Ok((ppn, span)),
+                Err(FlashError::ProgramFailed(_)) => {
+                    self.stats.program_remaps += 1;
+                    let g = self.flash.config().geometry;
+                    self.retire_block(g.unpack(ppn).block_addr(), true);
+                    t = gc_done;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Allocates the next free physical page, running GC if the target
@@ -1040,12 +1101,40 @@ impl Ftl {
                 };
                 placements.push((ppn, arrival));
             }
+            // Issue the wave's programs one channel-interleaved item at
+            // a time so a status-FAIL program degrades to a per-page
+            // remap instead of failing the batch. A failure retires the
+            // target block; wave items steered to the same (now
+            // retired) block skip the device entirely — their allocated
+            // page numbers assumed the failed program advanced the
+            // frontier, so programming them would break NAND order.
             let order = scheduler.issue_order_mixed();
-            let issue: Vec<(Ppn, SimTime)> =
-                order.iter().map(|item| placements[item.index]).collect();
-            let spans = self.flash.program_pages(&issue)?;
-            for (pos, item) in order.iter().enumerate() {
-                results[next + item.index] = Some((issue[pos].0, spans[pos]));
+            let mut resteer: Vec<usize> = Vec::new();
+            for item in &order {
+                let (ppn, arrival) = placements[item.index];
+                if self.is_grown_bad(ppn) {
+                    resteer.push(item.index);
+                    continue;
+                }
+                match self.flash.program_page(ppn, arrival) {
+                    Ok(span) => results[next + item.index] = Some((ppn, span)),
+                    Err(FlashError::ProgramFailed(_)) => {
+                        let g = self.flash.config().geometry;
+                        self.retire_block(g.unpack(ppn).block_addr(), true);
+                        resteer.push(item.index);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            // Re-steer pass: failed (and failure-shadowed) pages land
+            // in freshly allocated blocks once the wave's surviving
+            // programs have drained and the frontier state is real
+            // again.
+            for idx in resteer {
+                let (_, arrival) = placements[idx];
+                self.stats.program_remaps += 1;
+                let (ppn, span) = self.program_fresh_page(arrival)?;
+                results[next + idx] = Some((ppn, span));
             }
             // Wave maintenance: mapping + validity must be current
             // before the next wave's allocations may trigger GC.
@@ -1178,20 +1267,29 @@ impl Ftl {
                 .expect("non-empty free list");
             return Some(self.planes[plane_idx].free_blocks.swap_remove(best));
         }
-        let plane = &mut self.planes[plane_idx];
-        if plane.next_fresh < g.blocks_per_plane {
-            let b = plane.next_fresh;
-            plane.next_fresh += 1;
-            Some(b)
-        } else {
-            None
+        while self.planes[plane_idx].next_fresh < g.blocks_per_plane {
+            let b = self.planes[plane_idx].next_fresh;
+            self.planes[plane_idx].next_fresh += 1;
+            // A born/grown-bad block inside the fresh range is skipped
+            // here (and leaves the retired-fresh count as the cursor
+            // passes it).
+            if self
+                .grown_bad
+                .contains(&g.block_index(self.plane_block_addr(plane_idx, b)))
+            {
+                self.planes[plane_idx].retired_fresh -= 1;
+                continue;
+            }
+            return Some(b);
         }
+        None
     }
 
     fn free_block_count(&self, plane_idx: usize) -> u32 {
         let g = self.flash.config().geometry;
         let plane = &self.planes[plane_idx];
         plane.free_blocks.len() as u32 + (g.blocks_per_plane - plane.next_fresh)
+            - plane.retired_fresh
     }
 
     /// Greedy garbage collection of one plane: pick the full block with
@@ -1201,6 +1299,14 @@ impl Ftl {
         let victim_pos = {
             let plane = &self.planes[plane_idx];
             let pages_per_block = f64::from(g.pages_per_block);
+            // A retired block parked in the full list is pure drain
+            // work: relocate its valid pages and drop it, regardless of
+            // the configured victim policy (it can never re-enter
+            // service, so its "benefit" is the freed bookkeeping).
+            let retired_pos = plane.full_blocks.iter().position(|&b| {
+                self.grown_bad
+                    .contains(&g.block_index(self.plane_block_addr(plane_idx, b)))
+            });
             let score = |b: u32| -> f64 {
                 let idx = g.block_index(self.plane_block_addr(plane_idx, b));
                 let info = self.blocks.get(idx);
@@ -1221,14 +1327,16 @@ impl Ftl {
                     }
                 }
             };
-            let pos = plane
-                .full_blocks
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| {
-                    score(a).partial_cmp(&score(b)).expect("scores are finite")
-                })
-                .map(|(i, _)| i);
+            let pos = retired_pos.or_else(|| {
+                plane
+                    .full_blocks
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        score(a).partial_cmp(&score(b)).expect("scores are finite")
+                    })
+                    .map(|(i, _)| i)
+            });
             match pos {
                 Some(p) => p,
                 None => return Ok(now),
@@ -1252,30 +1360,41 @@ impl Ftl {
                 None => continue,
             };
             // Relocate: read, program to a free block in the same plane
-            // (never triggering nested GC).
-            let read = self.flash.read_page(old_ppn, t)?;
-            let dest_block = match self.planes[plane_idx].open_block {
-                Some(b)
-                    if self.flash.frontier(self.plane_block_addr(plane_idx, b))
-                        < g.pages_per_block =>
-                {
-                    b
-                }
-                _ => {
-                    if let Some(prev) = self.planes[plane_idx].open_block.take() {
-                        self.planes[plane_idx].full_blocks.push(prev);
+            // (never triggering nested GC). A status-FAIL relocation
+            // program retires its destination block and re-steers, just
+            // like the foreground write path.
+            let read = self.flash.read_page_reliable(old_ppn, t)?;
+            let (new_ppn, prog) = loop {
+                let dest_block = match self.planes[plane_idx].open_block {
+                    Some(b)
+                        if self.flash.frontier(self.plane_block_addr(plane_idx, b))
+                            < g.pages_per_block =>
+                    {
+                        b
                     }
-                    let next = self
-                        .take_free_block(plane_idx)
-                        .ok_or(FtlError::CapacityExhausted)?;
-                    self.planes[plane_idx].open_block = Some(next);
-                    next
+                    _ => {
+                        if let Some(prev) = self.planes[plane_idx].open_block.take() {
+                            self.planes[plane_idx].full_blocks.push(prev);
+                        }
+                        let next = self
+                            .take_free_block(plane_idx)
+                            .ok_or(FtlError::CapacityExhausted)?;
+                        self.planes[plane_idx].open_block = Some(next);
+                        next
+                    }
+                };
+                let dest_addr = self.plane_block_addr(plane_idx, dest_block);
+                let dest_page = self.flash.frontier(dest_addr);
+                let new_ppn = g.pack(dest_addr.page(dest_page));
+                match self.flash.program_page(new_ppn, read.end) {
+                    Ok(prog) => break (new_ppn, prog),
+                    Err(FlashError::ProgramFailed(_)) => {
+                        self.stats.program_remaps += 1;
+                        self.retire_block(dest_addr, true);
+                    }
+                    Err(e) => return Err(e.into()),
                 }
             };
-            let dest_addr = self.plane_block_addr(plane_idx, dest_block);
-            let dest_page = self.flash.frontier(dest_addr);
-            let new_ppn = g.pack(dest_addr.page(dest_page));
-            let prog = self.flash.program_page(new_ppn, read.end)?;
             t = prog.end;
             // Move functional content along with the page.
             if let Some(data) = self.flash.read_data(old_ppn).map(<[u8]>::to_vec) {
@@ -1294,10 +1413,26 @@ impl Ftl {
             }
             self.stats.gc_pages_moved += 1;
         }
-        let span = self.flash.erase_block(victim_addr, t);
         self.blocks.remove(victim_idx);
-        self.planes[plane_idx].free_blocks.push(victim);
-        t = span.end;
+        if self.grown_bad.contains(&victim_idx) {
+            // A retired victim is drained, never erased: it leaves the
+            // plane's lists for good.
+        } else {
+            match self.flash.erase_block(victim_addr, t) {
+                Ok(span) => {
+                    self.planes[plane_idx].free_blocks.push(victim);
+                    t = span.end;
+                }
+                Err(FlashError::EraseFailed(_)) => {
+                    // Status FAIL on erase: the block is worn out.
+                    // Retire it instead of returning it to service (its
+                    // valid pages were just relocated, so nothing is
+                    // lost).
+                    self.retire_block(victim_addr, true);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         t = self.maybe_static_wear_level(plane_idx, t)?;
         Ok(t)
     }
@@ -1367,13 +1502,28 @@ impl Ftl {
                 Some(c) => *c,
                 None => continue,
             };
-            let read = self.flash.read_page(old_ppn, t)?;
+            let read = self.flash.read_page_reliable(old_ppn, t)?;
             let dest_page = self.flash.frontier(hot_addr);
             if dest_page >= g.pages_per_block {
                 break;
             }
             let new_ppn = g.pack(hot_addr.page(dest_page));
-            let prog = self.flash.program_page(new_ppn, read.end)?;
+            let prog = match self.flash.program_page(new_ppn, read.end) {
+                Ok(prog) => prog,
+                Err(FlashError::ProgramFailed(_)) => {
+                    // The hot block failed mid-migration: retire it and
+                    // abandon the migration. Pages already moved are
+                    // valid in the hot block; the rest stay valid in
+                    // the cold block, which goes back to the full list
+                    // un-erased.
+                    self.stats.program_remaps += 1;
+                    self.retire_block(hot_addr, true);
+                    self.planes[plane_idx].full_blocks.push(hot);
+                    self.planes[plane_idx].full_blocks.push(cold);
+                    return Ok(t);
+                }
+                Err(e) => return Err(e.into()),
+            };
             t = prog.end;
             if let Some(data) = self.flash.read_data(old_ppn).map(<[u8]>::to_vec) {
                 self.flash.write_data(new_ppn, &data);
@@ -1390,12 +1540,68 @@ impl Ftl {
                 }
             }
         }
-        let span = self.flash.erase_block(cold_addr, t);
         self.blocks.remove(cold_idx);
         self.planes[plane_idx].full_blocks.push(hot);
-        self.planes[plane_idx].free_blocks.push(cold);
         self.stats.wl_migrations += 1;
-        Ok(span.end)
+        match self.flash.erase_block(cold_addr, t) {
+            Ok(span) => {
+                self.planes[plane_idx].free_blocks.push(cold);
+                Ok(span.end)
+            }
+            Err(FlashError::EraseFailed(_)) => {
+                // The cold block failed its erase mid-migration: retire
+                // it (its data already moved into the hot block).
+                self.retire_block(cold_addr, true);
+                Ok(t)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Retires `addr` into the grown-bad-block table and detaches it
+    /// from the owning plane's allocation lists. An open block moves to
+    /// the full list so garbage collection can drain its valid pages
+    /// (data already programmed stays readable; the block just accepts
+    /// no further programs or erases). `runtime` retirements count in
+    /// [`FtlStats::blocks_retired`]; the factory born-bad install does
+    /// not.
+    fn retire_block(&mut self, addr: BlockAddr, runtime: bool) {
+        let g = self.flash.config().geometry;
+        if !self.grown_bad.insert(g.block_index(addr)) {
+            return;
+        }
+        if runtime {
+            self.stats.blocks_retired += 1;
+        }
+        let plane_idx = self.plane_index_of(addr);
+        let plane = &mut self.planes[plane_idx];
+        if addr.block >= plane.next_fresh {
+            plane.retired_fresh += 1;
+            return;
+        }
+        if plane.open_block == Some(addr.block) {
+            plane.open_block = None;
+            plane.full_blocks.push(addr.block);
+        }
+        if let Some(pos) = plane.free_blocks.iter().position(|&b| b == addr.block) {
+            plane.free_blocks.swap_remove(pos);
+        }
+    }
+
+    /// Whether the block holding `ppn` has been retired.
+    fn is_grown_bad(&self, ppn: Ppn) -> bool {
+        let g = self.flash.config().geometry;
+        self.grown_bad
+            .contains(&g.block_index(g.unpack(ppn).block_addr()))
+    }
+
+    /// Inverse of [`Ftl::plane_block_addr`]: the flat plane index of a
+    /// block address.
+    fn plane_index_of(&self, addr: BlockAddr) -> usize {
+        let g = self.flash.config().geometry;
+        let chip_idx = (addr.channel * g.chips_per_channel + addr.chip) as usize;
+        let die_idx = chip_idx * g.dies_per_chip as usize + addr.die as usize;
+        die_idx * g.planes_per_die as usize + addr.plane as usize
     }
 
     fn plane_block_addr(&self, plane_idx: usize, block: u32) -> BlockAddr {
@@ -1443,6 +1649,7 @@ impl Ftl {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -2081,5 +2288,143 @@ mod tests {
             }
         }
         assert!(hit_capacity);
+    }
+
+    #[test]
+    fn program_fail_retires_block_and_resteers_the_page() {
+        let (mut ftl, mut m) = setup();
+        // Script the third program to report status FAIL.
+        ftl.install_fault_plan(FaultPlan {
+            program_fail_ops: vec![2],
+            ..FaultPlan::none()
+        });
+        let mut t = SimTime::ZERO;
+        for i in 0..4u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        assert_eq!(ftl.stats().program_remaps, 1);
+        assert_eq!(ftl.stats().blocks_retired, 1);
+        assert_eq!(ftl.grown_bad_blocks().len(), 1);
+        assert_eq!(ftl.valid_pages(), 4, "every page landed somewhere");
+        // The retired block never accepts the write cursor again.
+        for i in 0..64u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        assert_eq!(ftl.stats().blocks_retired, 1);
+    }
+
+    #[test]
+    fn batch_program_fail_completes_all_pages() {
+        let (mut ftl, mut m) = setup();
+        ftl.install_fault_plan(FaultPlan {
+            program_fail_ops: vec![10],
+            ..FaultPlan::none()
+        });
+        let lpns: Vec<Lpn> = (0..64).map(Lpn::new).collect();
+        let outcome = ftl
+            .write_batch(
+                Requestor::Host,
+                &WriteBatchRequest::from_lpns(&lpns),
+                &mut m,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(outcome.pages.len(), 64);
+        assert_eq!(ftl.stats().program_remaps, 1);
+        assert!(!ftl.grown_bad_blocks().is_empty());
+        // Every page is mapped, readable, and no PPN was handed out
+        // twice.
+        let mut seen: Vec<u64> = outcome.pages.iter().map(|p| p.ppn.raw()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64);
+        let mut t = outcome.finished;
+        for &lpn in &lpns {
+            t = ftl.read(Requestor::Host, lpn, &mut m, t).unwrap();
+        }
+    }
+
+    #[test]
+    fn erase_fail_retires_the_block_for_good() {
+        let config = FtlConfig {
+            gc_free_block_threshold: 2,
+            ..FtlConfig::default()
+        };
+        let mut ftl = Ftl::new(FlashConfig::tiny(), config);
+        ftl.install_fault_plan(FaultPlan {
+            erase_fail_ops: vec![0],
+            ..FaultPlan::none()
+        });
+        let mut m = WorldMonitor::with_table5_cost();
+        // Churn a small working set until GC erases blocks; the first
+        // erase fails and retires its block.
+        let mut t = SimTime::ZERO;
+        for i in 0..1500u64 {
+            t = ftl
+                .write(Requestor::Host, Lpn::new(i % 16), &mut m, t)
+                .unwrap();
+        }
+        assert!(ftl.stats().gc_runs > 0);
+        assert_eq!(ftl.stats().blocks_retired, 1);
+        assert_eq!(ftl.grown_bad_blocks().len(), 1);
+        assert_eq!(ftl.valid_pages(), 16);
+    }
+
+    #[test]
+    fn born_bad_blocks_are_never_allocated() {
+        let (mut ftl, mut m) = setup();
+        ftl.install_fault_plan(FaultPlan {
+            initial_bad_fraction: 0.2,
+            ..FaultPlan::none()
+        });
+        let bad = ftl.grown_bad_blocks();
+        assert!(!bad.is_empty());
+        let g = FlashConfig::tiny().geometry;
+        let mut t = SimTime::ZERO;
+        for i in 0..200u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+            let ppn = ftl
+                .translate(Requestor::Host, Lpn::new(i), &mut m, t)
+                .unwrap()
+                .ppn;
+            let idx = g.block_index(g.unpack(ppn).block_addr());
+            assert!(!bad.contains(&idx), "allocated into born-bad block {idx}");
+        }
+        // Factory list is not a runtime retirement.
+        assert_eq!(ftl.stats().blocks_retired, 0);
+    }
+
+    #[test]
+    fn remap_decisions_are_deterministic() {
+        let run = || {
+            let (mut ftl, mut m) = setup();
+            ftl.install_fault_plan(FaultPlan {
+                program_fail_rate: 0.01,
+                erase_fail_rate: 0.01,
+                seed: 99,
+                ..FaultPlan::none()
+            });
+            let mut t = SimTime::ZERO;
+            let mut ppns = Vec::new();
+            for i in 0..600u64 {
+                t = ftl
+                    .write(Requestor::Host, Lpn::new(i % 48), &mut m, t)
+                    .unwrap();
+            }
+            for i in 0..48u64 {
+                ppns.push(
+                    ftl.translate(Requestor::Host, Lpn::new(i), &mut m, t)
+                        .unwrap()
+                        .ppn,
+                );
+            }
+            (ppns, ftl.grown_bad_blocks(), t)
+        };
+        let (a_ppns, a_bad, a_t) = run();
+        let (b_ppns, b_bad, b_t) = run();
+        assert_eq!(a_ppns, b_ppns);
+        assert_eq!(a_bad, b_bad);
+        assert!(!a_bad.is_empty(), "plan should have retired something");
+        assert_eq!(a_t, b_t);
     }
 }

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
 
 pub mod cmt;
 pub mod ftl;
@@ -59,6 +60,7 @@ pub use ftl::{
     BatchPageRead, BatchPageWrite, Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation,
     WriteBatchOutcome,
 };
+pub use iceclave_flash::{FaultInjector, FaultPlan, FlashError, ReadFault};
 pub use mapping::{MappingEntry, MappingTable};
 pub use scheduler::{ChannelScheduler, QueuedOp, ScheduledItem};
 pub use wfq::{IssueGrant, SchedPolicy, WfqArbiter, MAX_WEIGHT};

@@ -170,6 +170,7 @@ impl ChannelScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -403,6 +403,7 @@ impl WfqArbiter {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -157,6 +157,7 @@ impl Default for MajorCounterBlock {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

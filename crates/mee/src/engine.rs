@@ -17,6 +17,7 @@ use iceclave_types::{ByteSize, CacheLine, SimDuration, SimTime, LINES_PER_PAGE};
 
 use crate::cache::MetaCache;
 use crate::counters::{PageClass, SplitCounterBlock};
+use crate::faults::{MacFault, MacFaultInjector, MacFaultPlan};
 use crate::l2::L2MetaStore;
 use crate::tree::TreeGeometry;
 
@@ -155,6 +156,13 @@ pub struct MeeStats {
     pub l2_demotions: u64,
     /// Dirty L2 victims written back to their home metadata location.
     pub l2_writebacks: u64,
+    /// L2 MAC mismatches absorbed by discarding the sealed block and
+    /// falling back to the authoritative home Merkle walk (suspected
+    /// corruption, not tampering — no TEE is harmed).
+    pub mac_fallbacks: u64,
+    /// MAC mismatches whose authoritative home walk *also* failed:
+    /// genuine tampering, escalated to a TEE integrity abort.
+    pub tamper_events: u64,
 }
 
 /// Per-block-kind metadata-cache traffic: hits and misses of the
@@ -378,6 +386,10 @@ pub struct MeeEngine {
     split_tree: TreeGeometry,
     major_tree: TreeGeometry,
     stats: MeeStats,
+    mac_faults: Option<MacFaultInjector>,
+    /// Latched when a MAC mismatch survived the home-walk fallback
+    /// (tampering); consumed by [`MeeEngine::take_tamper_event`].
+    tampered: bool,
 }
 
 impl MeeEngine {
@@ -403,7 +415,24 @@ impl MeeEngine {
             split_tree: TreeGeometry::for_leaves(config.protected_pages),
             major_tree: TreeGeometry::for_leaves(config.protected_pages.div_ceil(8)),
             stats: MeeStats::default(),
+            mac_faults: None,
+            tampered: false,
         }
+    }
+
+    /// Installs a deterministic L2 MAC-check fault schedule (replacing
+    /// any previous one). A no-op schedule may also be installed; it
+    /// simply never fires.
+    pub fn install_mac_fault_plan(&mut self, plan: MacFaultPlan) {
+        self.mac_faults = Some(MacFaultInjector::new(plan));
+    }
+
+    /// Consumes the pending tamper event, if a MAC mismatch escalated
+    /// past the home-walk fallback since the last call. The runtime
+    /// polls this after every protected access and throws the running
+    /// TEE out with an integrity abort when it fires.
+    pub fn take_tamper_event(&mut self) -> bool {
+        core::mem::take(&mut self.tampered)
     }
 
     /// The engine configuration.
@@ -821,11 +850,42 @@ impl MeeEngine {
                 self.stats.l2_hits += 1;
                 let fetch = dram.access(promotion.line, MemOp::Read, now);
                 self.note_meta_read(id);
+                // The session-MAC check of the sealed block.
+                self.stats.verifications += 1;
+                match self
+                    .mac_faults
+                    .as_mut()
+                    .map_or(MacFault::None, MacFaultInjector::check_outcome)
+                {
+                    MacFault::None => {}
+                    // Suspected corruption of the sealed copy: it is
+                    // discarded (it already left the store) and the
+                    // caller falls through to the home location, whose
+                    // Merkle walk is authoritative. The counters
+                    // themselves live in the functional state — the
+                    // hierarchy is timing-only — so nothing is lost;
+                    // the fallback costs the walk instead of one MAC
+                    // check. Home fetches are speculative in hardware,
+                    // so they are modeled from `now`, overlapping the
+                    // failed check.
+                    MacFault::Mismatch => {
+                        self.stats.mac_fallbacks += 1;
+                        return None;
+                    }
+                    // The home walk will fail too: genuine tampering.
+                    // Latch the event for the runtime to escalate to
+                    // ThrowOutTEE; the fallback walk still executes so
+                    // the timing of the detection path is realistic.
+                    MacFault::Tamper => {
+                        self.stats.mac_fallbacks += 1;
+                        self.stats.tamper_events += 1;
+                        self.tampered = true;
+                        return None;
+                    }
+                }
                 if promotion.dirty {
                     self.cache.mark_dirty(id);
                 }
-                // The session-MAC check of the sealed block.
-                self.stats.verifications += 1;
                 Some(fetch.end + self.config.mac_latency)
             }
             None => {
@@ -995,6 +1055,7 @@ impl MeeEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iceclave_dram::DramConfig;
@@ -1357,6 +1418,60 @@ mod tests {
         // If the stale copy was sealed dirty, its home write-back was
         // billed by the migration.
         let _ = in_l2;
+    }
+
+    #[test]
+    fn mac_mismatch_falls_back_without_harm() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 64);
+        mee.install_mac_fault_plan(MacFaultPlan {
+            mismatch_ops: vec![0, 2],
+            ..MacFaultPlan::none()
+        });
+        // Pass 1 populates L2 via demotions; pass 2 produces the L2
+        // hits whose MAC checks the scripted ordinals corrupt.
+        let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+        sweep(&mut dram, &mut mee, 512, t);
+        let s = mee.stats();
+        assert_eq!(s.mac_fallbacks, 2, "both scripted checks fell back");
+        assert_eq!(s.tamper_events, 0);
+        assert!(!mee.take_tamper_event(), "corruption never escalates");
+        // The fallback is pure recovery: functional counter state is
+        // untouched by which level served the fetch.
+        assert_eq!(mee.line_counter(0, 0), 0);
+    }
+
+    #[test]
+    fn tamper_latches_one_event_for_escalation() {
+        let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 64);
+        mee.install_mac_fault_plan(MacFaultPlan {
+            tamper_ops: vec![1],
+            ..MacFaultPlan::none()
+        });
+        let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+        sweep(&mut dram, &mut mee, 512, t);
+        let s = mee.stats();
+        assert_eq!(s.tamper_events, 1);
+        assert_eq!(s.mac_fallbacks, 1, "a tamper is also a failed check");
+        assert!(mee.take_tamper_event(), "event latched");
+        assert!(!mee.take_tamper_event(), "event consumed");
+    }
+
+    #[test]
+    fn empty_mac_plan_changes_nothing() {
+        let run = |install: bool| {
+            let (mut dram, mut mee) = setup_small_l2(CounterMode::SplitOnly, 64);
+            if install {
+                mee.install_mac_fault_plan(MacFaultPlan::none());
+            }
+            let t = sweep(&mut dram, &mut mee, 512, SimTime::ZERO);
+            let t = sweep(&mut dram, &mut mee, 512, t);
+            (t, mee.stats().clone())
+        };
+        let (t_with, s_with) = run(true);
+        let (t_without, s_without) = run(false);
+        assert_eq!(t_with, t_without, "no-op plan is timing-invisible");
+        assert_eq!(s_with.l2_hits, s_without.l2_hits);
+        assert_eq!(s_with.mac_fallbacks, 0);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Deterministic MAC-check fault injection for the second-level
+//! metadata store.
+//!
+//! An L2 hit trusts a sealed block on the strength of one session MAC
+//! (see [`crate::L2MetaStore`]). That MAC can mismatch for two very
+//! different reasons, and the engine must tell them apart:
+//!
+//! * **Corruption** — a bit flip in the reserved DRAM region (the SSD's
+//!   internal DRAM has weaker RAS than host memory). The sealed copy is
+//!   garbage, but the *home* location plus its Merkle walk is still
+//!   authoritative: discard the sealed block, fall back to the walk,
+//!   count a `mac_fallback` and carry on. No TEE is harmed.
+//! * **Tampering** — an adversary rewrote the metadata everywhere; the
+//!   authoritative walk fails too. Only then does the engine raise a
+//!   tamper event, which the runtime escalates to ThrowOutTEE with an
+//!   integrity abort (§4.5 of the paper).
+//!
+//! [`MacFaultPlan`] declares a deterministic schedule of both kinds,
+//! seeded from [`iceclave_sim::SimRng`]: each L2 MAC check consumes one
+//! draw from a dedicated sub-stream, so identical runs inject
+//! bit-identical faults — the same reproducibility contract as
+//! `iceclave_flash::faults`.
+
+use iceclave_sim::SimRng;
+
+/// What one L2 session-MAC check drew from the fault plan.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum MacFault {
+    /// The MAC verified; the sealed block is trusted.
+    None,
+    /// The MAC mismatched but the home location is intact — suspected
+    /// corruption; recover through the authoritative Merkle walk.
+    Mismatch,
+    /// The MAC mismatched *and* the home walk fails too — genuine
+    /// tampering; the access must escalate to a TEE abort.
+    Tamper,
+}
+
+/// A declarative, reproducible schedule of L2 MAC-check faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MacFaultPlan {
+    /// Root seed of the fault stream (independent of every other
+    /// randomness consumer in the simulation).
+    pub seed: u64,
+    /// Per-MAC-check probability of a corruption mismatch.
+    pub mismatch_rate: f64,
+    /// Explicit MAC-check ordinals (0-based, counted over L2 hits) that
+    /// mismatch as corruption — for scripting exact scenarios in tests.
+    pub mismatch_ops: Vec<u64>,
+    /// Explicit MAC-check ordinals that mismatch as tampering: the home
+    /// walk fails too and the access escalates.
+    pub tamper_ops: Vec<u64>,
+}
+
+impl MacFaultPlan {
+    /// The empty plan: every MAC check passes.
+    pub fn none() -> Self {
+        MacFaultPlan::default()
+    }
+
+    /// A purely random corruption plan at `rate` mismatches per check.
+    pub fn corruption(seed: u64, rate: f64) -> Self {
+        MacFaultPlan {
+            seed,
+            mismatch_rate: rate,
+            ..MacFaultPlan::default()
+        }
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.mismatch_rate <= 0.0 && self.mismatch_ops.is_empty() && self.tamper_ops.is_empty()
+    }
+}
+
+/// The stateful drawer produced from a [`MacFaultPlan`].
+#[derive(Debug)]
+pub struct MacFaultInjector {
+    plan: MacFaultPlan,
+    rng: SimRng,
+    checks: u64,
+}
+
+impl MacFaultInjector {
+    /// Builds the injector, deriving a dedicated sub-stream so the
+    /// fault schedule is independent of all other simulation draws.
+    pub fn new(plan: MacFaultPlan) -> Self {
+        let rng = SimRng::new(plan.seed).derive("mee/l2-mac");
+        MacFaultInjector {
+            plan,
+            rng,
+            checks: 0,
+        }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &MacFaultPlan {
+        &self.plan
+    }
+
+    /// Draws the outcome of the next L2 session-MAC check. Exactly one
+    /// call per check keeps scripted ordinals aligned.
+    pub fn check_outcome(&mut self) -> MacFault {
+        let op = self.checks;
+        self.checks += 1;
+        if self.plan.tamper_ops.contains(&op) {
+            return MacFault::Tamper;
+        }
+        if self.plan.mismatch_ops.contains(&op) {
+            return MacFault::Mismatch;
+        }
+        if self.plan.mismatch_rate > 0.0 && self.rng.gen_bool(self.plan.mismatch_rate) {
+            return MacFault::Mismatch;
+        }
+        MacFault::None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let mut inj = MacFaultInjector::new(MacFaultPlan::none());
+        for _ in 0..10_000 {
+            assert_eq!(inj.check_outcome(), MacFault::None);
+        }
+    }
+
+    #[test]
+    fn scripted_ordinals_fire_exactly_once() {
+        let plan = MacFaultPlan {
+            mismatch_ops: vec![3],
+            tamper_ops: vec![7],
+            ..MacFaultPlan::none()
+        };
+        let mut inj = MacFaultInjector::new(plan);
+        let outcomes: Vec<MacFault> = (0..10).map(|_| inj.check_outcome()).collect();
+        assert_eq!(outcomes[3], MacFault::Mismatch);
+        assert_eq!(outcomes[7], MacFault::Tamper);
+        let faults = outcomes.iter().filter(|o| **o != MacFault::None).count();
+        assert_eq!(faults, 2);
+    }
+
+    #[test]
+    fn random_mismatches_are_reproducible() {
+        let draw = || {
+            let mut inj = MacFaultInjector::new(MacFaultPlan::corruption(42, 0.05));
+            (0..5000).map(|_| inj.check_outcome()).collect::<Vec<_>>()
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|o| **o == MacFault::Mismatch).count();
+        assert!(hits > 100 && hits < 500, "{hits} mismatches at 5%");
+    }
+}

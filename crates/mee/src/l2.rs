@@ -301,6 +301,7 @@ impl L2MetaStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -43,10 +43,12 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
 
 pub mod cache;
 pub mod counters;
 pub mod engine;
+pub mod faults;
 pub mod l2;
 pub mod secure;
 pub mod tree;
@@ -56,6 +58,7 @@ pub use counters::{MajorCounterBlock, PageClass, SplitCounterBlock, MINOR_LIMIT}
 pub use engine::{
     CounterMode, MeeConfig, MeeEngine, MeeStats, MetaTraffic, PageFill, PageSeal, SealSpan,
 };
+pub use faults::{MacFault, MacFaultInjector, MacFaultPlan};
 pub use l2::{L2Demotion, L2MetaStore, L2Promotion};
 pub use secure::{SecureMemory, VerifyError};
 pub use tree::{MerkleTree, TreeGeometry};

@@ -250,6 +250,7 @@ impl SecureMemory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -257,6 +257,7 @@ impl MerkleTree {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

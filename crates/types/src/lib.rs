@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod fault;
 pub mod freq;
 pub mod hash;
 pub mod request;
@@ -38,6 +39,7 @@ pub mod ticket;
 pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
+pub use fault::{FaultStats, PageError, PageErrorCause};
 pub use freq::Hertz;
 pub use hash::{FastMap, FastSet, FxHasher};
 pub use request::{

@@ -10,6 +10,7 @@
 //! functional content exists).
 
 use crate::addr::Lpn;
+use crate::ticket::PageStatus;
 use crate::time::{SimDuration, SimTime};
 
 /// One page of a batch: a logical page the TEE wants streamed into its
@@ -63,8 +64,11 @@ pub struct PageCompletion {
     /// buffer (flash read + decryption + MEE fill all done).
     pub ready_at: SimTime,
     /// The deciphered page content, when functional data was stored at
-    /// the physical page (timing-only simulations carry `None`).
+    /// the physical page (timing-only simulations carry `None`; failed
+    /// pages always carry `None`).
     pub data: Option<Vec<u8>>,
+    /// Whether the page completed or degraded to a per-page failure.
+    pub status: PageStatus,
 }
 
 /// The completion of a whole batch.
@@ -190,6 +194,8 @@ pub struct WritePageCompletion {
     /// counter-increment + MAC generation (overlapped with the channel
     /// programs) has drained.
     pub durable_at: SimTime,
+    /// Whether the page is durable or degraded to a per-page failure.
+    pub status: PageStatus,
 }
 
 /// The completion of a whole write batch.
@@ -264,6 +270,7 @@ mod tests {
                 lpn: Lpn::new(1),
                 ready_at: finished,
                 data: None,
+                status: PageStatus::Done,
             }],
         };
         assert_eq!(done.latency(), SimDuration::from_micros(80));
@@ -307,6 +314,7 @@ mod tests {
             completions: vec![WritePageCompletion {
                 lpn: Lpn::new(9),
                 durable_at: finished,
+                status: PageStatus::Done,
             }],
         };
         assert_eq!(done.latency(), SimDuration::from_micros(40));

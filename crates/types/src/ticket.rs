@@ -16,6 +16,7 @@
 //! vocabulary the contract is phrased in.
 
 use crate::addr::Lpn;
+use crate::fault::PageError;
 use crate::tee::TeeId;
 use crate::time::{SimDuration, SimTime};
 
@@ -61,10 +62,29 @@ pub enum PageStatus {
     /// The page completed: read pages sit verified in the TEE's input
     /// ring, write pages are durable on flash.
     Done,
-    /// The page failed mid-flight (e.g. the device ran out of space, or
-    /// ownership was revoked while the ticket was in flight). The
-    /// ticket-level error names the cause.
-    Failed,
+    /// The page failed mid-flight. `reason` carries the structured
+    /// per-page record ([`PageError`]): what failed, where, and how
+    /// many recovery attempts were spent — so one bad page degrades
+    /// gracefully instead of aborting the batch.
+    Failed {
+        /// The structured failure record.
+        reason: PageError,
+    },
+}
+
+impl PageStatus {
+    /// True when the page retired successfully.
+    pub fn is_done(&self) -> bool {
+        matches!(self, PageStatus::Done)
+    }
+
+    /// The failure record, when the page failed.
+    pub fn error(&self) -> Option<PageError> {
+        match self {
+            PageStatus::Done => None,
+            PageStatus::Failed { reason } => Some(*reason),
+        }
+    }
 }
 
 /// Per-stage timestamps of one page's trip through the executor.
