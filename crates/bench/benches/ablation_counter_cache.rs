@@ -15,11 +15,10 @@
 //!   8 MiB L2 must cut the scan's mean read overhead by ≥ 1.3× vs the
 //!   SRAM-only baseline at the same L1 size.
 
-use std::io::Write as _;
-
 use iceclave_experiments::ablation::{
     scan_sweep, workload_sweep, ScanPoint, WorkloadPoint, L2_SWEEP_MIB, WORKING_SET_FACTOR,
 };
+use iceclave_obs::{BenchReport, Direction};
 
 fn main() {
     iceclave_bench::banner("ablation_counter_cache");
@@ -57,69 +56,84 @@ fn main() {
     println!("acceptance: 8 MiB L2 beats SRAM-only by >= 1.3x at every L1 size");
 }
 
-/// Writes the sweep as JSON (no serde in the offline workspace; the
-/// format is flat enough to emit by hand).
+/// Emits the sweep as a [`BenchReport`]: per scan point the mean read
+/// overhead is gated (deterministic simulated value) and the hit rates
+/// ride along ungated; per workload row the memory time is gated; the
+/// per-L1 acceptance ratio (SRAM-only vs 8 MiB L2) is gated with a
+/// floor-preserving band.
 fn write_baseline(scan: &[ScanPoint], workloads: &[WorkloadPoint]) {
-    let path = std::env::var("BENCH_COUNTER_CACHE_JSON")
-        .unwrap_or_else(|_| "BENCH_counter_cache.json".to_string());
-    let scan_entries: Vec<String> = scan
-        .iter()
-        .map(|p| {
+    let mut report = BenchReport::new("counter_cache")
+        .config("working_set_factor", WORKING_SET_FACTOR)
+        .config("acceptance_min_ratio", "1.3");
+    for p in scan {
+        let key = format!(
+            "l1_{}k_l2_{}m",
+            p.l1.as_bytes() / 1024,
+            p.l2.as_bytes() >> 20
+        );
+        report.push_metric(
+            format!("scan_overhead_ns_{key}"),
+            "ns",
+            p.mean_read_overhead.as_nanos_f64(),
+            Direction::Lower,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("scan_l1_hit_rate_{key}"),
+            "rate",
+            p.l1_hit_rate,
+            Direction::Higher,
+            0.05,
+            false,
+        );
+        report.push_metric(
+            format!("scan_l2_hit_rate_{key}"),
+            "rate",
+            p.l2_hit_rate,
+            Direction::Higher,
+            0.05,
+            false,
+        );
+    }
+    for p in workloads {
+        let key = format!(
+            "{}_{}_l1_{}k_l2_{}m",
+            p.workload.label(),
+            p.mode,
+            p.l1.as_bytes() / 1024,
+            p.l2.as_bytes() >> 20
+        );
+        report.push_metric(
+            format!("mem_time_ns_{key}"),
+            "ns",
+            p.mem_time.as_nanos() as f64,
+            Direction::Lower,
+            0.02,
+            true,
+        );
+    }
+    for chunk in scan.chunks(L2_SWEEP_MIB.len()) {
+        let (Some(off), Some(l2_8m)) = (
+            chunk.iter().find(|p| p.l2.as_bytes() == 0),
+            chunk.iter().find(|p| p.l2.as_bytes() == 8 << 20),
+        ) else {
+            continue;
+        };
+        report.push_metric(
             format!(
-                "    {{ \"l1_kib\": {}, \"l2_mib\": {}, \"working_set_pages\": {}, \
-                 \"mean_read_overhead_ns\": {:.2}, \"l1_hit_rate\": {:.4}, \
-                 \"l2_hit_rate\": {:.4} }}",
-                p.l1.as_bytes() / 1024,
-                p.l2.as_bytes() >> 20,
-                p.working_set_pages,
-                p.mean_read_overhead.as_nanos_f64(),
-                p.l1_hit_rate,
-                p.l2_hit_rate,
-            )
-        })
-        .collect();
-    let workload_entries: Vec<String> = workloads
-        .iter()
-        .map(|p| {
-            format!(
-                "    {{ \"workload\": \"{}\", \"mode\": \"{}\", \"l1_kib\": {}, \
-                 \"l2_mib\": {}, \"mem_time_ns\": {}, \"mean_read_overhead_ns\": {:.2}, \
-                 \"counter_hit_rate\": {:.4}, \"tree_hit_rate\": {:.4}, \
-                 \"l2_hit_rate\": {:.4} }}",
-                p.workload.label(),
-                p.mode,
-                p.l1.as_bytes() / 1024,
-                p.l2.as_bytes() >> 20,
-                p.mem_time.as_nanos(),
-                p.mean_read_overhead.as_nanos_f64(),
-                p.counter_hit_rate,
-                p.tree_hit_rate,
-                p.l2_hit_rate,
-            )
-        })
-        .collect();
-    // Acceptance summary per L1 size.
-    let acceptance: Vec<String> = scan
-        .chunks(L2_SWEEP_MIB.len())
-        .filter_map(|chunk| {
-            let off = chunk.iter().find(|p| p.l2.as_bytes() == 0)?;
-            let l2_8m = chunk.iter().find(|p| p.l2.as_bytes() == 8 << 20)?;
-            Some(format!(
-                "    {{ \"l1_kib\": {}, \"overhead_ratio_off_vs_8mib\": {:.2} }}",
-                off.l1.as_bytes() / 1024,
-                off.mean_read_overhead.as_nanos_f64() / l2_8m.mean_read_overhead.as_nanos_f64(),
-            ))
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"working_set_factor\": {WORKING_SET_FACTOR},\n  \"scan_sweep\": [\n{}\n  ],\n  \
-         \"workload_sweep\": [\n{}\n  ],\n  \"acceptance_min_ratio\": 1.3,\n  \
-         \"acceptance\": [\n{}\n  ]\n}}\n",
-        scan_entries.join(",\n"),
-        workload_entries.join(",\n"),
-        acceptance.join(",\n"),
-    );
-    let mut file = std::fs::File::create(&path).expect("create counter-cache baseline");
-    file.write_all(json.as_bytes()).expect("write baseline");
-    println!("counter-cache baseline written to {path}");
+                "overhead_ratio_off_vs_8mib_l1_{}k",
+                off.l1.as_bytes() / 1024
+            ),
+            "ratio",
+            off.mean_read_overhead.as_nanos_f64() / l2_8m.mean_read_overhead.as_nanos_f64(),
+            Direction::Higher,
+            0.05,
+            true,
+        );
+    }
+    match report.write_default("BENCH_COUNTER_CACHE_JSON", "BENCH_counter_cache.json") {
+        Ok(path) => println!("counter-cache report written to {path}"),
+        Err(e) => eprintln!("could not write counter-cache report: {e}"),
+    }
 }

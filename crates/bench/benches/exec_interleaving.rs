@@ -10,12 +10,11 @@
 //! interleaving trajectory is tracked across PRs. Override the output
 //! path with the `BENCH_EXEC_JSON` environment variable.
 
-use std::io::Write as _;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use iceclave_core::IceClave;
 use iceclave_experiments::{Mode, Overrides};
+use iceclave_obs::{BenchReport, Direction};
 use iceclave_sim::Histogram;
 use iceclave_types::{CompletionEvent, Lpn, SimTime, TeeId, PAGE_SIZE};
 
@@ -104,25 +103,35 @@ fn bench_exec_interleaving(c: &mut Criterion) {
     write_baseline(&baseline);
 }
 
-/// Writes the interleaving baseline as JSON (no serde in the offline
-/// workspace; the format is flat enough to emit by hand).
+/// Emits the interleaving report: simulated pages/s and p99 page
+/// latency per sweep point, all gated (deterministic simulated
+/// values).
 fn write_baseline(baseline: &[(u64, f64, u64)]) {
-    let path = std::env::var("BENCH_EXEC_JSON").unwrap_or_else(|_| "BENCH_exec.json".to_string());
-    let entries: Vec<String> = baseline
-        .iter()
-        .map(|(in_flight, pps, p99)| {
-            format!(
-                "    \"{in_flight}\": {{ \"pages_per_s\": {pps:.0}, \"p99_page_latency_ns\": {p99} }}"
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"tees\": {TEES},\n  \"batch_pages\": {BATCH_PAGES},\n  \"channels\": {CHANNELS},\n  \"by_in_flight_batches\": {{\n{}\n  }}\n}}\n",
-        entries.join(",\n")
-    );
-    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("wrote executor interleaving baseline to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    let mut report = BenchReport::new("exec")
+        .config("tees", TEES)
+        .config("batch_pages", BATCH_PAGES)
+        .config("channels", CHANNELS);
+    for &(in_flight, pages_per_s, p99_ns) in baseline {
+        report.push_metric(
+            format!("pages_per_s_if{in_flight}"),
+            "pages/s",
+            pages_per_s,
+            Direction::Higher,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("p99_page_latency_ns_if{in_flight}"),
+            "ns",
+            p99_ns as f64,
+            Direction::Lower,
+            0.02,
+            true,
+        );
+    }
+    match report.write_default("BENCH_EXEC_JSON", "BENCH_exec.json") {
+        Ok(path) => println!("wrote executor interleaving report to {path}"),
+        Err(e) => eprintln!("could not write interleaving report: {e}"),
     }
 }
 

@@ -19,12 +19,11 @@
 //! shared with the acceptance tests in `tests/wfq_fairness.rs` so the
 //! benchmark baseline and the tested protocol cannot diverge. The
 //! simulated numbers are printed once and emitted as a
-//! `BENCH_fairness.json` baseline (uploaded as a CI artifact beside
-//! `BENCH_writes.json` and `BENCH_exec.json`). Override the output
-//! path with the `BENCH_FAIRNESS_JSON` environment variable. Criterion
-//! times the WFQ duel's submit+poll loop as a smoke check.
-
-use std::io::Write as _;
+//! `BENCH_fairness.json` [`BenchReport`] (uploaded as a CI artifact
+//! beside `BENCH_writes.json` and `BENCH_exec.json`, and gated by
+//! `check_regression`). Override the output path with the
+//! `BENCH_FAIRNESS_JSON` environment variable. Criterion times the WFQ
+//! duel's submit+poll loop as a smoke check.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -32,6 +31,7 @@ use iceclave_core::SchedPolicy;
 use iceclave_experiments::fairness::{
     jain, p99, run_duel, ANTAGONIST_TICKET_PAGES, VICTIM_TICKET_PAGES,
 };
+use iceclave_obs::{BenchReport, Direction};
 
 const CHANNELS: u32 = 8;
 const ANTAGONIST_IN_FLIGHT: [usize; 4] = [1, 2, 4, 8];
@@ -103,40 +103,64 @@ fn bench_fairness(c: &mut Criterion) {
     );
 }
 
-/// Writes the fairness baseline as JSON (no serde in the offline
-/// workspace; the format is flat enough to emit by hand).
+/// Emits the fairness report: per sweep point the victim's p99 under
+/// both policies and both Jain indices, all gated (deterministic
+/// simulated values), plus the acceptance ratio at the deepest point
+/// as an ungated informational metric.
 fn write_baseline(sweep: &[SweepPoint]) {
-    let path =
-        std::env::var("BENCH_FAIRNESS_JSON").unwrap_or_else(|_| "BENCH_fairness.json".to_string());
-    let entries: Vec<String> = sweep
-        .iter()
-        .map(|p| {
-            format!(
-                "    \"{}\": {{ \"victim_p99_ns_fifo\": {}, \"victim_p99_ns_wfq\": {}, \
-                 \"p99_improvement\": {:.2}, \"jain_channel_time_fifo\": {:.3}, \
-                 \"jain_channel_time_wfq\": {:.3} }}",
-                p.in_flight,
-                p.p99_fifo,
-                p.p99_wfq,
-                p.p99_fifo as f64 / p.p99_wfq as f64,
-                p.jain_fifo,
-                p.jain_wfq,
-            )
-        })
-        .collect();
+    let mut report = BenchReport::new("fairness")
+        .config("channels", CHANNELS)
+        .config("antagonist_batch_pages", ANTAGONIST_TICKET_PAGES)
+        .config("victim_ticket_pages", VICTIM_TICKET_PAGES)
+        .config("victim_tickets", VICTIM_TICKETS);
+    for p in sweep {
+        let n = p.in_flight;
+        report.push_metric(
+            format!("victim_p99_ns_fifo_x{n}"),
+            "ns",
+            p.p99_fifo as f64,
+            Direction::Either,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("victim_p99_ns_wfq_x{n}"),
+            "ns",
+            p.p99_wfq as f64,
+            Direction::Lower,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("jain_channel_time_fifo_x{n}"),
+            "index",
+            p.jain_fifo,
+            Direction::Either,
+            0.05,
+            true,
+        );
+        report.push_metric(
+            format!("jain_channel_time_wfq_x{n}"),
+            "index",
+            p.jain_wfq,
+            Direction::Higher,
+            0.01,
+            true,
+        );
+    }
     let deepest = sweep.last().expect("sweep is non-empty");
-    let json = format!(
-        "{{\n  \"channels\": {CHANNELS},\n  \"antagonist_batch_pages\": \
-         {ANTAGONIST_TICKET_PAGES},\n  \"victim_ticket_pages\": {VICTIM_TICKET_PAGES},\n  \
-         \"victim_tickets\": {VICTIM_TICKETS},\n  \"by_antagonist_in_flight\": {{\n{}\n  }},\n  \
-         \"acceptance\": {{ \"p99_improvement_at_8\": {:.2}, \"jain_wfq_at_8\": {:.3} }}\n}}\n",
-        entries.join(",\n"),
+    report.push_metric(
+        "p99_improvement_at_8",
+        "ratio",
         deepest.p99_fifo as f64 / deepest.p99_wfq as f64,
-        deepest.jain_wfq,
+        Direction::Higher,
+        0.1,
+        false,
     );
-    let mut file = std::fs::File::create(&path).expect("create fairness baseline");
-    file.write_all(json.as_bytes()).expect("write baseline");
-    println!("fairness baseline written to {path}");
+    match report.write_default("BENCH_FAIRNESS_JSON", "BENCH_fairness.json") {
+        Ok(path) => println!("fairness report written to {path}"),
+        Err(e) => eprintln!("could not write fairness report: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_fairness);

@@ -18,13 +18,12 @@
 //! preserve at least 90% of fault-free goodput — degradation has to be
 //! graceful, not a cliff.
 
-use std::io::Write as _;
-
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use iceclave_core::IceClave;
 use iceclave_experiments::{Mode, Overrides};
 use iceclave_flash::FaultPlan;
+use iceclave_obs::{BenchReport, Direction};
 use iceclave_types::{Lpn, SimTime, TeeId, PAGE_SIZE};
 
 const PAGES: u64 = 256;
@@ -172,37 +171,69 @@ fn bench_faults(c: &mut Criterion) {
     );
 }
 
-/// Writes the sweep as JSON (no serde in the offline workspace; the
-/// format is flat enough to emit by hand).
+/// Emits the fault sweep as a [`BenchReport`]: goodput, tail latency
+/// and page outcomes are gated per rate (the fault stream is seeded,
+/// so every number is deterministic); the raw recovery counters ride
+/// along ungated as diagnostics.
 fn write_artifact(points: &[RatePoint]) {
-    let path =
-        std::env::var("BENCH_FAULTS_JSON").unwrap_or_else(|_| "BENCH_faults.json".to_string());
-    let mut rows = String::new();
-    for (i, p) in points.iter().enumerate() {
-        let sep = if i + 1 == points.len() { "" } else { "," };
-        rows.push_str(&format!(
-            "    {{\n      \"rate\": {:e},\n      \"goodput_pages_per_sim_s\": {:.0},\n      \
-             \"victim_p99_us\": {:.1},\n      \"done_pages\": {},\n      \
-             \"failed_pages\": {},\n      \"read_retries\": {},\n      \
-             \"program_remaps\": {},\n      \"blocks_retired\": {}\n    }}{sep}\n",
-            p.rate,
+    let mut report = BenchReport::new("faults")
+        .config("scenario", format!("1tee_{CHANNELS}ch_fault_sweep"))
+        .config("pages", PAGES)
+        .config("rounds", ROUNDS)
+        .config("seed", SEED)
+        .config("goodput_floor_at_1e-3", GOODPUT_FLOOR_AT_1E3);
+    for p in points {
+        let key = format!("{:.0e}", p.rate).replace('-', "m");
+        report.push_metric(
+            format!("goodput_pages_per_sim_s_r{key}"),
+            "pages/s",
             p.goodput_pages_per_sim_s,
+            Direction::Higher,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("victim_p99_us_r{key}"),
+            "us",
             p.victim_p99_us,
-            p.done_pages,
-            p.failed_pages,
-            p.read_retries,
-            p.program_remaps,
-            p.blocks_retired,
-        ));
+            Direction::Lower,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("done_pages_r{key}"),
+            "pages",
+            p.done_pages as f64,
+            Direction::Higher,
+            0.0,
+            true,
+        );
+        report.push_metric(
+            format!("failed_pages_r{key}"),
+            "pages",
+            p.failed_pages as f64,
+            Direction::Lower,
+            0.0,
+            true,
+        );
+        for (name, value) in [
+            ("read_retries", p.read_retries),
+            ("program_remaps", p.program_remaps),
+            ("blocks_retired", p.blocks_retired),
+        ] {
+            report.push_metric(
+                format!("{name}_r{key}"),
+                "count",
+                value as f64,
+                Direction::Either,
+                0.1,
+                false,
+            );
+        }
     }
-    let json = format!(
-        "{{\n  \"scenario\": \"1tee_{CHANNELS}ch_fault_sweep\",\n  \"pages\": {PAGES},\n  \
-         \"rounds\": {ROUNDS},\n  \"seed\": {SEED},\n  \
-         \"goodput_floor_at_1e-3\": {GOODPUT_FLOOR_AT_1E3},\n  \"points\": [\n{rows}  ]\n}}\n"
-    );
-    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("wrote fault sweep to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    match report.write_default("BENCH_FAULTS_JSON", "BENCH_faults.json") {
+        Ok(path) => println!("wrote fault sweep report to {path}"),
+        Err(e) => eprintln!("could not write fault sweep report: {e}"),
     }
 }
 

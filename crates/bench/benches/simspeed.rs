@@ -11,17 +11,20 @@
 //! The scenario is fixed so numbers are comparable across PRs:
 //! 2 TEEs x 4 concurrent 32-page read batches + one 16-page write
 //! batch per TEE per round, 8 rounds per iteration (2,304 simulated
-//! pages). The bench emits `BENCH_simspeed.json` (override the path
-//! with `BENCH_SIMSPEED_JSON`) and asserts a conservative pages/s
-//! floor so a future PR cannot silently regress the hot path.
+//! pages). The bench emits a `BenchReport` to `BENCH_simspeed.json`
+//! (override the path with `BENCH_SIMSPEED_JSON`) and asserts a
+//! conservative pages/s floor — with op-log capture *off* — so a
+//! future PR cannot silently regress the hot path. A second datapoint
+//! measures the same scenario with capture *on*, quantifying the
+//! observer's overhead.
 
-use std::io::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use iceclave_core::IceClave;
 use iceclave_experiments::{Mode, Overrides};
+use iceclave_obs::{BenchReport, Direction};
 use iceclave_types::{Lpn, PageWrite, SimTime, TeeId, PAGE_SIZE};
 
 const TEES: u64 = 2;
@@ -35,10 +38,11 @@ const CHANNELS: u32 = 16;
 const PAGES_PER_ITER: u64 = ROUNDS * TEES * (READ_BATCHES * BATCH_PAGES + WRITE_PAGES);
 
 /// Conservative wall-clock floor (pages/s) asserted at the end of the
-/// bench. The flattened hot path sustains well over 10^6 pages/s on a
-/// development machine; the floor is set an order of magnitude below
-/// the post-flattening rate so slow shared CI runners pass while a
-/// return to the pre-flattening executor (~5x slower) still trips it.
+/// bench, with trace capture off. The flattened hot path sustains well
+/// over 10^6 pages/s on a development machine; the floor is set an
+/// order of magnitude below the post-flattening rate so slow shared CI
+/// runners pass while a return to the pre-flattening executor (~5x
+/// slower) still trips it.
 const FLOOR_PAGES_PER_S: f64 = 150_000.0;
 
 /// A 16-channel device with two TEEs. Each TEE's grant is split into a
@@ -95,36 +99,96 @@ fn scenario(ice: &mut IceClave, tees: &[(TeeId, Vec<Lpn>)], start: SimTime) -> (
     (completions, t)
 }
 
-fn bench_simspeed(c: &mut Criterion) {
-    let (mut ice, tees, t0) = setup();
-    let (completions, _) = scenario(&mut ice, &tees, t0);
-    assert_eq!(completions, PAGES_PER_ITER, "scenario retired every page");
-
-    // Wall-clock measurement for the JSON baseline: warm up, then time
-    // a fixed block of iterations with a plain monotonic clock (the
-    // criterion group below tracks the same path statistically).
-    let mut t = t0;
-    for _ in 0..3 {
-        t = scenario(&mut ice, &tees, t).1;
-    }
+/// Median wall-clock pages/s over `SAMPLES` timed blocks.
+fn measure(ice: &mut IceClave, tees: &[(TeeId, Vec<Lpn>)], t: &mut SimTime) -> f64 {
     const SAMPLES: usize = 5;
     const ITERS_PER_SAMPLE: u64 = 10;
     let mut rates = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let begin = Instant::now();
         for _ in 0..ITERS_PER_SAMPLE {
-            t = scenario(&mut ice, &tees, t).1;
+            *t = scenario(ice, tees, *t).1;
         }
         let wall = begin.elapsed().as_secs_f64();
         rates.push((ITERS_PER_SAMPLE * PAGES_PER_ITER) as f64 / wall);
     }
     rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
-    let pages_per_s = rates[SAMPLES / 2];
+    rates[SAMPLES / 2]
+}
+
+fn bench_simspeed(c: &mut Criterion) {
+    let (mut ice, tees, t0) = setup();
+    let (completions, sim_end) = scenario(&mut ice, &tees, t0);
+    assert_eq!(completions, PAGES_PER_ITER, "scenario retired every page");
+    let sim_elapsed_ns = sim_end.saturating_since(t0).as_nanos_f64();
+
+    // Wall-clock measurement for the JSON report: warm up, then time a
+    // fixed block of iterations with a plain monotonic clock (the
+    // criterion group below tracks the same path statistically).
+    let mut t = t0;
+    for _ in 0..3 {
+        t = scenario(&mut ice, &tees, t).1;
+    }
+    let pages_per_s = measure(&mut ice, &tees, &mut t);
+
+    // Capture-on datapoint: the same scenario with the op-log observer
+    // installed, so the trace hook's overhead has a tracked number.
+    ice.enable_tracing();
+    let pages_per_s_traced = measure(&mut ice, &tees, &mut t);
+    let trace = ice.take_trace().expect("tracing was enabled");
+    assert!(!trace.is_empty(), "capture-on run recorded tickets");
+
     println!(
         "simspeed 2tee interleaving: {PAGES_PER_ITER} simulated pages/iter, \
-         {pages_per_s:.0} simulated pages per wall-clock second (median of {SAMPLES})"
+         {pages_per_s:.0} pages per wall-clock second capture-off, \
+         {pages_per_s_traced:.0} capture-on ({:.1}% overhead)",
+        (1.0 - pages_per_s_traced / pages_per_s) * 100.0
     );
-    write_baseline(pages_per_s);
+
+    let mut report = BenchReport::new("simspeed")
+        .config("scenario", "2tee_16ch_interleaving")
+        .config("tees", TEES)
+        .config("read_batches_per_tee", READ_BATCHES)
+        .config("batch_pages", BATCH_PAGES)
+        .config("write_pages_per_tee", WRITE_PAGES)
+        .config("rounds", ROUNDS)
+        .config("channels", CHANNELS);
+    report.push_metric(
+        "simulated_pages_per_iter",
+        "pages",
+        PAGES_PER_ITER as f64,
+        Direction::Either,
+        0.0,
+        true,
+    );
+    report.push_metric(
+        "sim_elapsed_ns",
+        "ns",
+        sim_elapsed_ns,
+        Direction::Lower,
+        0.02,
+        true,
+    );
+    report.push_metric(
+        "pages_per_wall_s",
+        "pages/s",
+        pages_per_s,
+        Direction::Higher,
+        0.5,
+        false,
+    );
+    report.push_metric(
+        "pages_per_wall_s_traced",
+        "pages/s",
+        pages_per_s_traced,
+        Direction::Higher,
+        0.5,
+        false,
+    );
+    match report.write_default("BENCH_SIMSPEED_JSON", "BENCH_simspeed.json") {
+        Ok(path) => println!("wrote simulator-speed report to {path}"),
+        Err(e) => eprintln!("could not write simspeed report: {e}"),
+    }
 
     let mut group = c.benchmark_group("simspeed");
     group.throughput(Throughput::Bytes(PAGES_PER_ITER * PAGE_SIZE));
@@ -139,28 +203,9 @@ fn bench_simspeed(c: &mut Criterion) {
 
     assert!(
         pages_per_s >= FLOOR_PAGES_PER_S,
-        "simulator speed regressed: {pages_per_s:.0} pages/s is below the \
-         {FLOOR_PAGES_PER_S:.0} pages/s floor"
+        "simulator speed regressed: {pages_per_s:.0} pages/s (capture off) is below \
+         the {FLOOR_PAGES_PER_S:.0} pages/s floor"
     );
-}
-
-/// Writes the simulator-speed baseline as JSON (no serde in the
-/// offline workspace; the format is flat enough to emit by hand).
-fn write_baseline(pages_per_s: f64) {
-    let path =
-        std::env::var("BENCH_SIMSPEED_JSON").unwrap_or_else(|_| "BENCH_simspeed.json".to_string());
-    let json = format!(
-        "{{\n  \"scenario\": \"2tee_16ch_interleaving\",\n  \"tees\": {TEES},\n  \
-         \"read_batches_per_tee\": {READ_BATCHES},\n  \"batch_pages\": {BATCH_PAGES},\n  \
-         \"write_pages_per_tee\": {WRITE_PAGES},\n  \"rounds\": {ROUNDS},\n  \
-         \"channels\": {CHANNELS},\n  \"simulated_pages_per_iter\": {PAGES_PER_ITER},\n  \
-         \"simulated_pages_per_wall_s\": {pages_per_s:.0},\n  \
-         \"floor_pages_per_s\": {FLOOR_PAGES_PER_S:.0}\n}}\n"
-    );
-    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("wrote simulator-speed baseline to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
 }
 
 fn config() -> Criterion {

@@ -5,17 +5,16 @@
 //! throughput alongside, matching the fig12/fig13 structure.
 //!
 //! The bench also sweeps a pure write batch across 2/4/8/16 channels
-//! and emits a `BENCH_writes.json` baseline (simulated pages/s per
-//! channel count) so the write-path perf trajectory is tracked across
-//! PRs. Override the output path with the `BENCH_WRITES_JSON`
-//! environment variable.
-
-use std::io::Write as _;
+//! and emits a `BENCH_writes.json` [`BenchReport`] (simulated pages/s
+//! per channel count) so the write-path perf trajectory is tracked and
+//! gated across PRs. Override the output path with the
+//! `BENCH_WRITES_JSON` environment variable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use iceclave_core::IceClave;
 use iceclave_experiments::{Mode, Overrides};
+use iceclave_obs::{BenchReport, Direction};
 use iceclave_types::{Lpn, SimTime, PAGE_SIZE};
 
 const BATCH_PAGES: u64 = 64;
@@ -130,22 +129,24 @@ fn bench_write_channel_sweep(c: &mut Criterion) {
     write_baseline(&baseline);
 }
 
-/// Writes the simulated write-throughput baseline as JSON (no serde in
-/// the offline workspace; the format is flat enough to emit by hand).
+/// Emits the simulated write-throughput report: one gated pages/s
+/// metric per channel count (deterministic simulated values, so the
+/// tolerance band is tight).
 fn write_baseline(baseline: &[(u32, f64)]) {
-    let path =
-        std::env::var("BENCH_WRITES_JSON").unwrap_or_else(|_| "BENCH_writes.json".to_string());
-    let entries: Vec<String> = baseline
-        .iter()
-        .map(|(ch, pps)| format!("    \"{ch}\": {pps:.0}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"batch_pages\": {BATCH_PAGES},\n  \"pages_per_s_by_channels\": {{\n{}\n  }}\n}}\n",
-        entries.join(",\n")
-    );
-    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => println!("wrote write-path baseline to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    let mut report = BenchReport::new("writes").config("batch_pages", BATCH_PAGES);
+    for &(channels, pages_per_s) in baseline {
+        report.push_metric(
+            format!("pages_per_s_ch{channels}"),
+            "pages/s",
+            pages_per_s,
+            Direction::Higher,
+            0.02,
+            true,
+        );
+    }
+    match report.write_default("BENCH_WRITES_JSON", "BENCH_writes.json") {
+        Ok(path) => println!("wrote write-path report to {path}"),
+        Err(e) => eprintln!("could not write write-path report: {e}"),
     }
 }
 

@@ -35,12 +35,13 @@ use iceclave_exec::{Executor, StageEvent, StageMachine};
 use iceclave_ftl::FlashError;
 use iceclave_ftl::{FtlError, Requestor, SchedPolicy, WfqArbiter};
 use iceclave_isc::SsdPlatform;
-use iceclave_mee::{MeeEngine, PageClass, PageSeal, SealSpan};
+use iceclave_mee::{MeeEngine, MetaTraffic, PageClass, PageSeal, SealSpan};
 use iceclave_sim::Pipeline;
 use iceclave_types::{
-    BatchCompletion, CompletionEvent, LatencyBreakdown, Lpn, PageCompletion, PageError,
-    PageErrorCause, PageStatus, PageWrite, Ppn, SimDuration, SimTime, TeeId, Ticket, TicketKind,
-    WriteBatchCompletion, WriteBatchRequest, WritePageCompletion, WritePageRequest, PAGE_SIZE,
+    BatchCompletion, CompletionEvent, FaultStats, LatencyBreakdown, Lpn, PageCompletion, PageError,
+    PageErrorCause, PageStatus, PageWrite, Ppn, SimDuration, SimTime, TeeId, Ticket,
+    TicketAttribution, TicketKind, WriteBatchCompletion, WriteBatchRequest, WritePageCompletion,
+    WritePageRequest, PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
@@ -129,6 +130,12 @@ pub struct Job {
     /// Write path: encrypt stages still outstanding before the program
     /// phase may fire.
     pending_encrypts: usize,
+    /// Integrity-metadata traffic charged to this ticket: MEE counter
+    /// deltas snapshotted around each of its engine calls.
+    attrib: TicketAttribution,
+    /// Fault/recovery activity charged to this ticket (retries,
+    /// remaps, MAC fallbacks it triggered).
+    faults: FaultStats,
 }
 
 impl Job {
@@ -143,6 +150,8 @@ impl Job {
             sealed: Vec::new(),
             encrypted: Vec::new(),
             pending_encrypts: 0,
+            attrib: TicketAttribution::default(),
+            faults: FaultStats::default(),
         }
     }
 }
@@ -160,6 +169,64 @@ pub(crate) struct StageCtx<'a> {
     pub jobs: &'a mut JobTable,
     pub failed: &'a mut ErrorSlab,
     pub arbiter: &'a mut WfqArbiter,
+}
+
+/// Point-in-time snapshot of the MEE counters that feed per-ticket
+/// attribution: the metadata-cache traffic plus the L2 counter store
+/// and MAC-fallback totals (which live outside [`MetaTraffic`]).
+#[derive(Copy, Clone)]
+struct MeeSnap {
+    meta: MetaTraffic,
+    l2_hits: u64,
+    l2_misses: u64,
+    mac_fallbacks: u64,
+    fill_writes: u64,
+    seal_reads: u64,
+    extra_enc_writes: u64,
+    encryptions: u64,
+}
+
+impl MeeSnap {
+    fn of(mee: &MeeEngine) -> Self {
+        let stats = mee.stats();
+        MeeSnap {
+            meta: stats.meta_traffic,
+            l2_hits: stats.l2_hits,
+            l2_misses: stats.l2_misses,
+            mac_fallbacks: stats.mac_fallbacks,
+            fill_writes: stats.fill_writes,
+            seal_reads: stats.seal_reads,
+            extra_enc_writes: stats.extra_enc_writes,
+            encryptions: stats.encryptions,
+        }
+    }
+
+    /// The attribution accumulated on the MEE since `self`, plus the
+    /// MAC-fallback delta (a fault, not cache traffic). The bulk
+    /// fill/seal datapath bypasses the on-chip metadata caches by
+    /// design, so the cache fields stay zero for ticket work — the
+    /// bulk-engine line counts are what a ticket actually moves.
+    fn charge(self, mee: &MeeEngine) -> (TicketAttribution, u64) {
+        let now = MeeSnap::of(mee);
+        let meta = now.meta.since(&self.meta);
+        (
+            TicketAttribution {
+                counter_hits: meta.counter_hits,
+                counter_misses: meta.counter_misses,
+                mac_hits: meta.mac_hits,
+                mac_misses: meta.mac_misses,
+                tree_hits: meta.tree_hits,
+                tree_misses: meta.tree_misses,
+                l2_hits: now.l2_hits - self.l2_hits,
+                l2_misses: now.l2_misses - self.l2_misses,
+                fill_lines: now.fill_writes - self.fill_writes,
+                seal_lines: now.seal_reads - self.seal_reads,
+                meta_writes: now.extra_enc_writes - self.extra_enc_writes,
+                enc_pads: now.encryptions - self.encryptions,
+            },
+            now.mac_fallbacks - self.mac_fallbacks,
+        )
+    }
 }
 
 /// Grants `channel`'s next queued page (if the channel is free and any
@@ -273,7 +340,9 @@ impl StageCtx<'_> {
             data: None,
         };
         if exec.push_completion(event) {
-            self.jobs.remove(ticket.raw());
+            if let Some(job) = self.jobs.remove(ticket.raw()) {
+                exec.notify_close(ticket, &job.attrib, &job.faults);
+            }
         }
     }
 
@@ -299,12 +368,22 @@ impl StageCtx<'_> {
         // The secure world is entered against the submission time: the
         // admit horizon of every channel already reflects whatever the
         // executor interleaved since then.
-        let outcome = match self.platform.ftl.write_batch(
+        let (remaps_before, retired_before) = {
+            let ftl_stats = self.platform.ftl.stats();
+            (ftl_stats.program_remaps, ftl_stats.blocks_retired)
+        };
+        let result = self.platform.ftl.write_batch(
             Requestor::Tee(job.tee),
             &batch,
             &mut self.platform.monitor,
             job.submitted,
-        ) {
+        );
+        {
+            let ftl_stats = self.platform.ftl.stats();
+            job.faults.program_remaps += ftl_stats.program_remaps - remaps_before;
+            job.faults.blocks_retired += ftl_stats.blocks_retired - retired_before;
+        }
+        let outcome = match result {
             Ok(outcome) => outcome,
             Err(e) => {
                 // Mid-flight failure (device full, or ownership revoked
@@ -383,7 +462,9 @@ impl StageCtx<'_> {
             });
         }
         if closed {
-            self.jobs.remove(ev.ticket.raw());
+            if let Some(job) = self.jobs.remove(ev.ticket.raw()) {
+                exec.notify_close(ev.ticket, &job.attrib, &job.faults);
+            }
         }
     }
 }
@@ -445,7 +526,14 @@ impl StageMachine for StageCtx<'_> {
                     // actually streams the page.
                     page.lane = geometry.unpack(ppn).channel as usize;
                 }
-                match self.platform.ftl.flash_mut().read_page(ppn, arrival) {
+                // Burst-level ECC corrections happen inside the read
+                // itself; the stats delta attributes them to this
+                // ticket's page.
+                let bursts_before = self.platform.ftl.flash().stats().corrected_bursts;
+                let read = self.platform.ftl.flash_mut().read_page(ppn, arrival);
+                job.faults.corrected_bursts +=
+                    self.platform.ftl.flash().stats().corrected_bursts - bursts_before;
+                match read {
                     Ok(span) => {
                         // The decrypt lane is advanced inline rather
                         // than via its own event: a lane serves only
@@ -496,6 +584,7 @@ impl StageMachine for StageCtx<'_> {
                         let page = &mut job.pages[idx];
                         page.attempts += 1;
                         self.stats.read_retries += 1;
+                        job.faults.read_retries += 1;
                         let backoff =
                             SimDuration::from_micros(READ_RETRY_STEP_US * page.attempts as u64);
                         exec.schedule(ev.at + backoff, ev.ticket, ev.page, Stage::FlashRead);
@@ -507,6 +596,7 @@ impl StageMachine for StageCtx<'_> {
                     Err(FlashError::ReadUncorrectable { .. }) => {
                         job.pages[idx].attempts += 1;
                         self.stats.uncorrectable_pages += 1;
+                        job.faults.uncorrectable_pages += 1;
                         if let Some(channel) = self.arbiter.release(ev.ticket, ev.page) {
                             kick_channel(self.arbiter, exec, channel, ev.at);
                         }
@@ -541,9 +631,16 @@ impl StageMachine for StageCtx<'_> {
                     let page = &job.pages[idx];
                     (page.slot, page.class)
                 };
+                // Attribution: every counter/MAC/tree access the fill
+                // performs is charged to this ticket via a stats delta.
+                let before = MeeSnap::of(self.mee);
                 let done = self
                     .mee
                     .fill_page(&mut self.platform.dram, slot, class, ev.at);
+                let (delta, mac_fallbacks) = before.charge(self.mee);
+                job.attrib.add(&delta);
+                job.faults.mac_fallbacks += mac_fallbacks;
+                self.stats.ticket_meta.add(&delta);
                 let page = &mut job.pages[idx];
                 page.breakdown.ready = done;
                 page.retired = true;
@@ -567,7 +664,9 @@ impl StageMachine for StageCtx<'_> {
                     breakdown,
                     data,
                 }) {
-                    self.jobs.remove(ev.ticket.raw());
+                    if let Some(job) = self.jobs.remove(ev.ticket.raw()) {
+                        exec.notify_close(ev.ticket, &job.attrib, &job.faults);
+                    }
                 }
             }
             Stage::Encrypt => {
@@ -835,6 +934,8 @@ impl IceClave {
                 sealed: Vec::new(),
                 encrypted: Vec::new(),
                 pending_encrypts: 0,
+                attrib: TicketAttribution::default(),
+                faults: FaultStats::default(),
             },
         );
         Ok(ticket)
@@ -917,7 +1018,12 @@ impl IceClave {
                 })
                 .collect()
         };
+        // Attribution: the seal drain's counter/MAC traffic belongs to
+        // this write ticket.
+        let snap = MeeSnap::of(&self.mee);
         let sealed = self.mee.seal_pages(&mut self.platform.dram, &seals);
+        let (seal_attrib, seal_fallbacks) = snap.charge(&self.mee);
+        self.stats.ticket_meta.add(&seal_attrib);
 
         // The target channel is unknown until the FTL allocates, so
         // outbound pages go to the cipher lanes round-robin. Payloads
@@ -976,6 +1082,11 @@ impl IceClave {
                 encrypted,
                 pending_encrypts,
                 sealed,
+                attrib: seal_attrib,
+                faults: FaultStats {
+                    mac_fallbacks: seal_fallbacks,
+                    ..FaultStats::default()
+                },
             },
         );
         Ok(ticket)
@@ -1100,6 +1211,9 @@ impl IceClave {
                     data: None,
                 });
             }
+            // Every page is now retired, which closed the ticket —
+            // report whatever attribution it accumulated before death.
+            self.exec.notify_close(ticket, &job.attrib, &job.faults);
         }
     }
 

@@ -56,6 +56,7 @@ pub mod exec_driver;
 pub mod host;
 pub mod runtime;
 mod slab;
+pub mod trace;
 
 pub use config::{FairnessConfig, IceClaveConfig};
 pub use exec_driver::{Stage, READ_RETRY_LIMIT, READ_RETRY_STEP_US};

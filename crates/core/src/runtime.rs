@@ -13,7 +13,7 @@ use iceclave_mee::{MacFaultPlan, MeeEngine, PageClass};
 use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
-    BatchCompletion, ByteSize, CacheLine, Lpn, PageWrite, Ppn, SimTime, TeeId,
+    BatchCompletion, ByteSize, CacheLine, Lpn, PageWrite, Ppn, SimTime, TeeId, TicketAttribution,
     WriteBatchCompletion, LINES_PER_PAGE, PAGE_SIZE,
 };
 
@@ -171,6 +171,11 @@ pub struct RuntimeStats {
     pub uncorrectable_pages: u64,
     /// Pages that completed `Failed` instead of aborting their batch.
     pub pages_failed: u64,
+    /// Integrity-metadata traffic attributed to tickets: the sum of
+    /// the per-ticket MEE deltas charged by the executor's fill/seal
+    /// stages (counter, MAC and tree cache traffic plus the L2
+    /// counter store).
+    pub ticket_meta: TicketAttribution,
 }
 
 #[derive(Debug)]

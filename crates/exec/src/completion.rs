@@ -10,7 +10,10 @@
 //! > became ready at the same simulated tick drain in (ticket id,
 //! > page index) order.
 
-use iceclave_types::{CompletionEvent, SimTime, Ticket};
+use std::any::Any;
+use std::fmt;
+
+use iceclave_types::{CompletionEvent, FaultStats, SimTime, Ticket, TicketAttribution};
 
 /// The drain-order contract, verbatim from the module documentation
 /// above (a unit test asserts the two stay identical, so there is no
@@ -19,6 +22,39 @@ use iceclave_types::{CompletionEvent, SimTime, Ticket};
 pub const DRAIN_ORDER_CONTRACT: &str = "Completions drain in ascending ready time; \
      completions that became ready at the same simulated tick drain in \
      (ticket id, page index) order.";
+
+/// A tap on the retirement stream: sees every page as it retires and
+/// every ticket as it closes.
+///
+/// The queue invokes the observer from [`CompletionQueue::push`] — the
+/// single point every retirement already passes — so a capture layer
+/// (e.g. `iceclave_obs`'s ticket op-log) records the stream without the
+/// executor or its driver knowing the observer's concrete type. With no
+/// observer installed the cost is one `Option` branch per retirement.
+///
+/// `on_retire` fires once per page, in retirement (not drain) order.
+/// `on_close` fires once per ticket after its last page retired; the
+/// *driver* calls it (via [`crate::Executor::notify_close`]) because
+/// only the driver knows the per-ticket metadata-traffic and fault
+/// deltas it accumulated while the ticket was in flight.
+pub trait RetireObserver {
+    /// One page retired into the completion queue.
+    fn on_retire(&mut self, event: &CompletionEvent);
+
+    /// `ticket` closed at `finished` with the metadata traffic and
+    /// fault activity charged to it over its lifetime.
+    fn on_close(
+        &mut self,
+        ticket: Ticket,
+        finished: SimTime,
+        attrib: &TicketAttribution,
+        faults: &FaultStats,
+    );
+
+    /// Recovers the concrete observer after [`CompletionQueue::take_observer`]
+    /// (`Box<dyn RetireObserver>` cannot be downcast directly).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
 
 /// Retired pages waiting to be drained by the submitter.
 ///
@@ -55,13 +91,24 @@ pub const DRAIN_ORDER_CONTRACT: &str = "Completions drain in ascending ready tim
 /// let order: Vec<(u64, u32)> = drained.iter().map(|e| (e.ticket.raw(), e.index)).collect();
 /// assert_eq!(order, vec![(1, 0), (1, 3), (2, 0)]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct CompletionQueue {
     pending: Vec<CompletionEvent>,
     /// Reusable partition buffer: holds the kept (not-yet-due) events
     /// during a drain, then swaps with `pending`, so steady-state
     /// polling allocates nothing beyond the returned batch.
     scratch: Vec<CompletionEvent>,
+    /// Optional tap on the retirement stream ([`RetireObserver`]).
+    observer: Option<Box<dyn RetireObserver>>,
+}
+
+impl fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("pending", &self.pending)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CompletionQueue {
@@ -70,12 +117,49 @@ impl CompletionQueue {
         CompletionQueue {
             pending: Vec::new(),
             scratch: Vec::new(),
+            observer: None,
         }
     }
 
-    /// Enqueues one retired page.
+    /// Enqueues one retired page, notifying the installed observer (if
+    /// any) before the event is queued.
     pub fn push(&mut self, event: CompletionEvent) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_retire(&event);
+        }
         self.pending.push(event);
+    }
+
+    /// Installs `observer` as the retirement tap, replacing (and
+    /// returning) any previous one.
+    pub fn set_observer(
+        &mut self,
+        observer: Box<dyn RetireObserver>,
+    ) -> Option<Box<dyn RetireObserver>> {
+        self.observer.replace(observer)
+    }
+
+    /// Removes and returns the installed observer, disabling capture.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RetireObserver>> {
+        self.observer.take()
+    }
+
+    /// True when a retirement observer is installed.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Forwards a ticket-close notification to the observer (if any).
+    pub fn notify_close(
+        &mut self,
+        ticket: Ticket,
+        finished: SimTime,
+        attrib: &TicketAttribution,
+        faults: &FaultStats,
+    ) {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_close(ticket, finished, attrib, faults);
+        }
     }
 
     /// Number of undrained completions.
@@ -276,6 +360,65 @@ mod tests {
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].ticket.raw(), 4);
         assert!(q.is_empty());
+    }
+
+    /// A recording observer: proves the tap sees every retirement in
+    /// push order (not drain order) plus each close notification, and
+    /// that it can be recovered through `into_any`.
+    #[derive(Default)]
+    struct Recorder {
+        retired: Vec<(u64, u32)>,
+        closed: Vec<(u64, u64, u64)>,
+    }
+
+    impl RetireObserver for Recorder {
+        fn on_retire(&mut self, event: &CompletionEvent) {
+            self.retired.push((event.ticket.raw(), event.index));
+        }
+        fn on_close(
+            &mut self,
+            ticket: Ticket,
+            _finished: SimTime,
+            attrib: &iceclave_types::TicketAttribution,
+            faults: &iceclave_types::FaultStats,
+        ) {
+            self.closed
+                .push((ticket.raw(), attrib.counter_misses, faults.read_retries));
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn observer_sees_retirements_in_push_order_and_closes() {
+        let mut q = CompletionQueue::new();
+        assert!(!q.has_observer());
+        assert!(q.set_observer(Box::new(Recorder::default())).is_none());
+        assert!(q.has_observer());
+        q.push(event(2, 1, 100));
+        q.push(event(1, 0, 50));
+        let attrib = iceclave_types::TicketAttribution {
+            counter_misses: 7,
+            ..Default::default()
+        };
+        let faults = iceclave_types::FaultStats {
+            read_retries: 3,
+            ..Default::default()
+        };
+        q.notify_close(Ticket::new(2), at(100), &attrib, &faults);
+        let obs = q.take_observer().expect("observer was installed");
+        assert!(!q.has_observer());
+        let rec = obs
+            .into_any()
+            .downcast::<Recorder>()
+            .expect("concrete type survives into_any");
+        assert_eq!(rec.retired, vec![(2, 1), (1, 0)], "push order, not drain");
+        assert_eq!(rec.closed, vec![(2, 7, 3)]);
+        // With the observer removed, pushes and closes are silent.
+        q.push(event(3, 0, 10));
+        q.notify_close(Ticket::new(3), at(10), &attrib, &faults);
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 use std::collections::VecDeque;
 
 use iceclave_sim::{EventClock, KeyedEventQueue};
-use iceclave_types::{CompletionEvent, SimTime, Ticket, TicketKind};
+use iceclave_types::{CompletionEvent, FaultStats, SimTime, Ticket, TicketAttribution, TicketKind};
 
-use crate::completion::CompletionQueue;
+use crate::completion::{CompletionQueue, RetireObserver};
 
 /// One due stage event handed to the [`StageMachine`].
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -206,6 +206,46 @@ impl<S> Executor<S> {
         state.remaining = state.remaining.saturating_sub(1);
         state.finished = state.finished.max(ready);
         state.remaining == 0
+    }
+
+    /// Installs a [`RetireObserver`] on the completion queue, replacing
+    /// (and returning) any previous one. Every subsequent retirement
+    /// flows through `observer.on_retire`.
+    pub fn install_observer(
+        &mut self,
+        observer: Box<dyn RetireObserver>,
+    ) -> Option<Box<dyn RetireObserver>> {
+        self.completions.set_observer(observer)
+    }
+
+    /// Removes and returns the retirement observer, disabling capture.
+    pub fn take_observer(&mut self) -> Option<Box<dyn RetireObserver>> {
+        self.completions.take_observer()
+    }
+
+    /// True when a retirement observer is installed.
+    pub fn has_observer(&self) -> bool {
+        self.completions.has_observer()
+    }
+
+    /// Tells the observer (if any) that `ticket` closed, with the
+    /// metadata-traffic and fault deltas its driver charged to it. The
+    /// close time is the ticket's recorded finish time; the call is a
+    /// no-op for tickets that are still open or already retired.
+    pub fn notify_close(
+        &mut self,
+        ticket: Ticket,
+        attrib: &TicketAttribution,
+        faults: &FaultStats,
+    ) {
+        if !self.completions.has_observer() {
+            return;
+        }
+        let Some(finished) = self.finished_at(ticket) else {
+            return;
+        };
+        self.completions
+            .notify_close(ticket, finished, attrib, faults);
     }
 
     /// Folds a batch-level completion time (e.g. the write path's

@@ -62,6 +62,6 @@ pub mod completion;
 pub mod executor;
 pub mod reference;
 
-pub use completion::{CompletionQueue, DRAIN_ORDER_CONTRACT};
+pub use completion::{CompletionQueue, RetireObserver, DRAIN_ORDER_CONTRACT};
 pub use executor::{Executor, StageEvent, StageMachine};
 pub use reference::{RefExecutor, RefStageMachine};

@@ -16,7 +16,8 @@ use iceclave_isc::SsdPlatform;
 use iceclave_mee::{CounterMode, MeeConfig, MeeEngine, PageClass};
 use iceclave_sim::{Resource, ResourcePool, SimRng};
 use iceclave_types::{
-    ByteSize, CacheLine, FaultStats, Lpn, SimDuration, SimTime, TeeId, LINES_PER_PAGE, PAGE_SIZE,
+    ByteSize, CacheLine, FaultStats, Lpn, SimDuration, SimTime, TeeId, TicketAttribution,
+    LINES_PER_PAGE, PAGE_SIZE,
 };
 use iceclave_workloads::{Batch, Workload, WorkloadConfig, WorkloadKind, WorkloadOutput};
 
@@ -65,6 +66,10 @@ pub struct RunResult {
     /// Fault-and-recovery accounting (all zero when no fault plan was
     /// installed; see `iceclave_flash::faults`).
     pub faults: FaultStats,
+    /// Integrity-metadata traffic attributed to executor tickets (the
+    /// sum of per-ticket MEE deltas; zero for host-mode runs and for
+    /// workloads that never use the batched async path).
+    pub ticket_meta: TicketAttribution,
     /// Energy breakdown of the run (derived from activity counters).
     pub energy: crate::energy::EnergyBreakdown,
     /// The workload's computed answer (identical across modes).
@@ -519,6 +524,7 @@ fn run_ssd_with(
         world_switches: ice.platform().monitor.stats().switches,
         energy,
         faults,
+        ticket_meta: rt_stats.ticket_meta,
         output,
     })
 }
@@ -779,6 +785,7 @@ fn run_host(
         world_switches: platform.monitor.stats().switches,
         energy,
         faults: FaultStats::default(),
+        ticket_meta: TicketAttribution::default(),
         output,
     }
 }

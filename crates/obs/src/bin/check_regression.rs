@@ -1,0 +1,156 @@
+//! CI regression gate over [`BenchReport`] artifacts.
+//!
+//! ```text
+//! check_regression <baselines_dir> <candidates_dir>
+//! check_regression --self-test <baselines_dir>
+//! ```
+//!
+//! The first form schema-validates every `*.json` report in
+//! `baselines_dir`, loads the same-named candidate from
+//! `candidates_dir`, and runs the tolerance gate
+//! ([`iceclave_obs::report::check`]) on each pair. Any violation — a
+//! malformed report, a missing candidate, a config-fingerprint
+//! mismatch, or a gated metric outside its band — prints and sets exit
+//! code 1.
+//!
+//! The second form proves the gate has teeth: every gated metric in
+//! every baseline is degraded 10% in its harmful direction and the gate
+//! must fail on each; it must also pass each baseline against itself.
+//! Exit code 1 if either expectation breaks.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use iceclave_obs::report::{check, degrade, BenchReport};
+
+/// Fraction injected by `--self-test` (a 10% harmful drift).
+const SELF_TEST_DEGRADATION: f64 = 0.10;
+
+fn report_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json reports in {}", dir.display()));
+    }
+    Ok(files)
+}
+
+fn load(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn gate(baselines: &Path, candidates: &Path) -> Result<(), String> {
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for base_path in report_files(baselines)? {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        let baseline = match load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("FAIL {name}: baseline invalid: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let cand_path = candidates.join(&name);
+        let candidate = match load(&cand_path) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("FAIL {name}: candidate invalid: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        compared += 1;
+        let violations = check(&baseline, &candidate);
+        if violations.is_empty() {
+            let gated = baseline.metrics.iter().filter(|m| m.gate).count();
+            println!("ok   {name}: {gated} gated metric(s) within tolerance");
+        } else {
+            for v in &violations {
+                println!("FAIL {name}: {v}");
+            }
+            failures += violations.len();
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} gate violation(s) across {compared} report(s)"
+        ));
+    }
+    println!("regression gate passed: {compared} report(s) within tolerance");
+    Ok(())
+}
+
+fn self_test(baselines: &Path) -> Result<(), String> {
+    for base_path in report_files(baselines)? {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        let baseline = load(&base_path)?;
+        if !check(&baseline, &baseline).is_empty() {
+            return Err(format!("{name}: baseline fails the gate against itself"));
+        }
+        let gated = baseline.metrics.iter().filter(|m| m.gate).count();
+        if gated == 0 {
+            return Err(format!("{name}: no gated metrics — the gate is toothless"));
+        }
+        let degraded = degrade(&baseline, SELF_TEST_DEGRADATION);
+        let violations = check(&baseline, &degraded);
+        let caught: Vec<&str> = violations.iter().map(|v| v.metric.as_str()).collect();
+        for m in baseline.metrics.iter().filter(|m| m.gate) {
+            // A band of >= 10% would legitimately absorb the injected
+            // drift; the committed baselines keep gated bands below it.
+            if m.tol < SELF_TEST_DEGRADATION && !caught.contains(&m.name.as_str()) {
+                return Err(format!(
+                    "{name}: injected 10% regression on {:?} was NOT caught",
+                    m.name
+                ));
+            }
+        }
+        println!(
+            "ok   {name}: self-gate passes, 10% injected drift caught on {} metric(s)",
+            caught.len()
+        );
+    }
+    println!("gate self-test passed");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, dir] if flag == "--self-test" => self_test(Path::new(dir)),
+        [baselines, candidates] => gate(Path::new(baselines), Path::new(candidates)),
+        _ => Err(
+            "usage: check_regression <baselines_dir> <candidates_dir> | \
+                  check_regression --self-test <baselines_dir>"
+                .to_string(),
+        ),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_regression: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! The ticket op-log: capture, record format, and the binary codec.
+//!
+//! # Record format (version 1)
+//!
+//! A [`TraceLog`] is a byte stream: an 8-byte magic (`ICLV-OPL`), a
+//! little-endian `u32` format version, then one length-prefixed record
+//! per *closed* ticket, appended in close order (which the executor's
+//! determinism contract makes reproducible — two identical runs produce
+//! byte-identical logs). Each record encodes, little-endian:
+//!
+//! | field        | encoding                                          |
+//! |--------------|---------------------------------------------------|
+//! | ticket       | `u64` raw id                                      |
+//! | tee          | `u8` raw TEE id                                   |
+//! | kind         | `u8` (0 = read, 1 = write)                        |
+//! | submitted    | `u64` picoseconds                                 |
+//! | first_ready  | `u64` picoseconds (earliest page ready)           |
+//! | finished     | `u64` picoseconds (ticket close time)             |
+//! | meta         | 12 × `u64` ([`TicketAttribution`] field order)    |
+//! | faults       | 6 × `u64` ([`FaultStats`] field order)            |
+//! | page count   | `u32`, then that many [`PageTrace`]s in index order |
+//!
+//! Each page: `u32` index, `u64` lpn, 5 × `u64` breakdown timestamps
+//! (submitted/prepared/flash_done/cipher_done/ready), `u64` FxHash of
+//! the returned payload (0 when the completion carried no data), and a
+//! status tag `u8` (0 = done; 1 = failed, followed by `u8` cause,
+//! `u32` attempts, `u64` ppn).
+
+use std::any::Any;
+use std::hash::Hasher;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use iceclave_exec::RetireObserver;
+use iceclave_types::{
+    CompletionEvent, FastMap, FaultStats, FxHasher, LatencyBreakdown, Lpn, PageError,
+    PageErrorCause, PageStatus, Ppn, SimTime, Ticket, TicketAttribution, TicketKind,
+};
+
+/// Magic bytes opening every trace log.
+pub const TRACE_MAGIC: [u8; 8] = *b"ICLV-OPL";
+
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Per-page entry of a [`TraceRecord`].
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct PageTrace {
+    /// Page index within the batch.
+    pub index: u32,
+    /// The logical page the entry covers.
+    pub lpn: Lpn,
+    /// Final status of the page.
+    pub status: PageStatus,
+    /// Per-stage timestamps of the page's trip through the executor.
+    pub breakdown: LatencyBreakdown,
+    /// FxHash of the returned payload; 0 when the completion carried no
+    /// data (write pages, failed reads). Lets the replay-equivalence
+    /// test compare per-ticket bytes without storing 4 KiB per page.
+    pub data_hash: u64,
+}
+
+/// One closed ticket in the op-log.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct TraceRecord {
+    /// Raw ticket id (monotonic, never reused within a run).
+    pub ticket: u64,
+    /// Raw id of the owning TEE.
+    pub tee: u8,
+    /// Read or write batch.
+    pub kind: TicketKind,
+    /// When the batch was submitted.
+    pub submitted: SimTime,
+    /// When the first page became ready.
+    pub first_ready: SimTime,
+    /// When the ticket closed (last page retired / batch-level finish).
+    pub finished: SimTime,
+    /// Integrity-metadata traffic charged to this ticket.
+    pub meta: TicketAttribution,
+    /// Fault and recovery activity charged to this ticket.
+    pub faults: FaultStats,
+    /// Per-page entries, sorted by page index.
+    pub pages: Vec<PageTrace>,
+}
+
+/// Errors decoding a trace log.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum TraceError {
+    /// The stream does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The stream's format version is not [`TRACE_VERSION`].
+    BadVersion(u32),
+    /// The stream ended mid-record.
+    Truncated,
+    /// An enum tag byte was out of range.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace log (bad magic)"),
+            TraceError::BadVersion(v) => {
+                write!(f, "unsupported trace version {v} (want {TRACE_VERSION})")
+            }
+            TraceError::Truncated => write!(f, "trace log truncated mid-record"),
+            TraceError::BadTag(t) => write!(f, "invalid enum tag {t} in trace log"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// FxHash of a page payload, as stored in [`PageTrace::data_hash`].
+///
+/// 0 is reserved for "no data": the hash is seeded with the payload
+/// length and the (astronomically unlikely) digest 0 is mapped to 1,
+/// so an all-zero payload never collides with the sentinel.
+pub fn hash_payload(data: Option<&[u8]>) -> u64 {
+    match data {
+        None => 0,
+        Some(bytes) => {
+            let mut h = FxHasher::default();
+            h.write(&(bytes.len() as u64).to_le_bytes());
+            h.write(bytes);
+            h.finish().max(1)
+        }
+    }
+}
+
+/// The versioned, append-only ticket op-log.
+///
+/// Records are encoded into the byte buffer the moment they are pushed
+/// (append-only by construction); the decoded records ride alongside so
+/// replay and tests never re-parse their own capture.
+#[derive(Clone, Eq, PartialEq, Debug, Default)]
+pub struct TraceLog {
+    buf: Vec<u8>,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// An empty log with the version-1 header.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        TraceLog {
+            buf,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends one record (encoding it immediately).
+    pub fn push(&mut self, record: TraceRecord) {
+        let mut body = Vec::with_capacity(128 + record.pages.len() * 64);
+        encode_record(&record, &mut body);
+        self.buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&body);
+        self.records.push(record);
+    }
+
+    /// The captured records, in ticket close order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of captured tickets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The encoded byte stream (header + records).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Decodes a log from its byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on a bad header, a truncated stream, or
+    /// an out-of-range enum tag.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(8)? != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != TRACE_VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let mut records = Vec::new();
+        while !cur.at_end() {
+            let len = cur.u32()? as usize;
+            let body = cur.slice(len)?;
+            let mut rcur = Cursor {
+                bytes: body,
+                pos: 0,
+            };
+            records.push(decode_record(&mut rcur)?);
+        }
+        Ok(TraceLog {
+            buf: bytes.to_vec(),
+            records,
+        })
+    }
+
+    /// Writes the encoded stream to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.buf)
+    }
+
+    /// Reads and decodes a log from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; decode failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn read_from(path: &Path) -> std::io::Result<Self> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn encode_record(r: &TraceRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.ticket.to_le_bytes());
+    out.push(r.tee);
+    out.push(match r.kind {
+        TicketKind::Read => 0,
+        TicketKind::Write => 1,
+    });
+    for t in [r.submitted, r.first_ready, r.finished] {
+        out.extend_from_slice(&t.as_ps().to_le_bytes());
+    }
+    for v in [
+        r.meta.counter_hits,
+        r.meta.counter_misses,
+        r.meta.mac_hits,
+        r.meta.mac_misses,
+        r.meta.tree_hits,
+        r.meta.tree_misses,
+        r.meta.l2_hits,
+        r.meta.l2_misses,
+        r.meta.fill_lines,
+        r.meta.seal_lines,
+        r.meta.meta_writes,
+        r.meta.enc_pads,
+        r.faults.read_retries,
+        r.faults.uncorrectable_pages,
+        r.faults.corrected_bursts,
+        r.faults.program_remaps,
+        r.faults.blocks_retired,
+        r.faults.mac_fallbacks,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(r.pages.len() as u32).to_le_bytes());
+    for p in &r.pages {
+        out.extend_from_slice(&p.index.to_le_bytes());
+        out.extend_from_slice(&p.lpn.raw().to_le_bytes());
+        for t in [
+            p.breakdown.submitted,
+            p.breakdown.prepared,
+            p.breakdown.flash_done,
+            p.breakdown.cipher_done,
+            p.breakdown.ready,
+        ] {
+            out.extend_from_slice(&t.as_ps().to_le_bytes());
+        }
+        out.extend_from_slice(&p.data_hash.to_le_bytes());
+        match p.status {
+            PageStatus::Done => out.push(0),
+            PageStatus::Failed { reason } => {
+                out.push(1);
+                out.push(match reason.cause {
+                    PageErrorCause::Uncorrectable => 0,
+                    PageErrorCause::ProgramFailed => 1,
+                    PageErrorCause::Cancelled => 2,
+                });
+                out.extend_from_slice(&reason.attempts.to_le_bytes());
+                out.extend_from_slice(&reason.ppn.raw().to_le_bytes());
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+    fn slice(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        self.slice(n)
+    }
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.slice(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let s = self.slice(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let s = self.slice(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+    fn time(&mut self) -> Result<SimTime, TraceError> {
+        Ok(SimTime::from_ps(self.u64()?))
+    }
+}
+
+fn decode_record(cur: &mut Cursor<'_>) -> Result<TraceRecord, TraceError> {
+    let ticket = cur.u64()?;
+    let tee = cur.u8()?;
+    let kind = match cur.u8()? {
+        0 => TicketKind::Read,
+        1 => TicketKind::Write,
+        t => return Err(TraceError::BadTag(t)),
+    };
+    let submitted = cur.time()?;
+    let first_ready = cur.time()?;
+    let finished = cur.time()?;
+    let meta = TicketAttribution {
+        counter_hits: cur.u64()?,
+        counter_misses: cur.u64()?,
+        mac_hits: cur.u64()?,
+        mac_misses: cur.u64()?,
+        tree_hits: cur.u64()?,
+        tree_misses: cur.u64()?,
+        l2_hits: cur.u64()?,
+        l2_misses: cur.u64()?,
+        fill_lines: cur.u64()?,
+        seal_lines: cur.u64()?,
+        meta_writes: cur.u64()?,
+        enc_pads: cur.u64()?,
+    };
+    let faults = FaultStats {
+        read_retries: cur.u64()?,
+        uncorrectable_pages: cur.u64()?,
+        corrected_bursts: cur.u64()?,
+        program_remaps: cur.u64()?,
+        blocks_retired: cur.u64()?,
+        mac_fallbacks: cur.u64()?,
+    };
+    let count = cur.u32()? as usize;
+    let mut pages = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let index = cur.u32()?;
+        let lpn = Lpn::new(cur.u64()?);
+        let breakdown = LatencyBreakdown {
+            submitted: cur.time()?,
+            prepared: cur.time()?,
+            flash_done: cur.time()?,
+            cipher_done: cur.time()?,
+            ready: cur.time()?,
+        };
+        let data_hash = cur.u64()?;
+        let status = match cur.u8()? {
+            0 => PageStatus::Done,
+            1 => {
+                let cause = match cur.u8()? {
+                    0 => PageErrorCause::Uncorrectable,
+                    1 => PageErrorCause::ProgramFailed,
+                    2 => PageErrorCause::Cancelled,
+                    t => return Err(TraceError::BadTag(t)),
+                };
+                let attempts = cur.u32()?;
+                let ppn = Ppn::new(cur.u64()?);
+                PageStatus::Failed {
+                    reason: PageError {
+                        ppn,
+                        attempts,
+                        cause,
+                    },
+                }
+            }
+            t => return Err(TraceError::BadTag(t)),
+        };
+        pages.push(PageTrace {
+            index,
+            lpn,
+            status,
+            breakdown,
+            data_hash,
+        });
+    }
+    Ok(TraceRecord {
+        ticket,
+        tee,
+        kind,
+        submitted,
+        first_ready,
+        finished,
+        meta,
+        faults,
+        pages,
+    })
+}
+
+/// In-flight state of one ticket being captured.
+#[derive(Debug)]
+struct OpenTicket {
+    tee: u8,
+    kind: TicketKind,
+    submitted: SimTime,
+    first_ready: SimTime,
+    pages: Vec<PageTrace>,
+}
+
+/// The capture observer: builds one [`TraceRecord`] per closed ticket.
+///
+/// Installed on the executor's completion queue via
+/// `IceClave::enable_tracing` (which wraps
+/// [`iceclave_exec::Executor::install_observer`]); recovered with
+/// `take_trace`. Pages accumulate per ticket as they retire; the record
+/// is finalized — pages sorted by index — when the driver reports the
+/// close, so log order is ticket close order (deterministic under the
+/// executor's determinism contract).
+#[derive(Debug, Default)]
+pub struct TraceCapture {
+    open: FastMap<u64, OpenTicket>,
+    log: TraceLog,
+}
+
+impl TraceCapture {
+    /// An empty capture.
+    pub fn new() -> Self {
+        TraceCapture {
+            open: FastMap::default(),
+            log: TraceLog::new(),
+        }
+    }
+
+    /// Finishes the capture, returning the log. Tickets still open
+    /// (never closed by the driver) are dropped — a record only exists
+    /// for tickets whose full page set was observed.
+    pub fn into_log(self) -> TraceLog {
+        self.log
+    }
+
+    /// Number of tickets captured so far.
+    pub fn captured(&self) -> usize {
+        self.log.len()
+    }
+}
+
+impl RetireObserver for TraceCapture {
+    fn on_retire(&mut self, event: &CompletionEvent) {
+        let open = self
+            .open
+            .entry(event.ticket.raw())
+            .or_insert_with(|| OpenTicket {
+                tee: event.tee.raw(),
+                kind: event.kind,
+                submitted: event.breakdown.submitted,
+                first_ready: event.ready_at(),
+                pages: Vec::new(),
+            });
+        open.first_ready = open.first_ready.min(event.ready_at());
+        open.pages.push(PageTrace {
+            index: event.index,
+            lpn: event.lpn,
+            status: event.status,
+            breakdown: event.breakdown,
+            data_hash: hash_payload(event.data.as_deref()),
+        });
+    }
+
+    fn on_close(
+        &mut self,
+        ticket: Ticket,
+        finished: SimTime,
+        attrib: &TicketAttribution,
+        faults: &FaultStats,
+    ) {
+        // A close with no retirements observed means capture was
+        // enabled mid-flight; skip rather than record a partial ticket.
+        let Some(mut open) = self.open.remove(&ticket.raw()) else {
+            return;
+        };
+        open.pages.sort_by_key(|p| p.index);
+        self.log.push(TraceRecord {
+            ticket: ticket.raw(),
+            tee: open.tee,
+            kind: open.kind,
+            submitted: open.submitted,
+            first_ready: open.first_ready,
+            finished,
+            meta: *attrib,
+            faults: *faults,
+            pages: open.pages,
+        });
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use iceclave_types::{SimDuration, TeeId};
+
+    fn sample_record(ticket: u64, pages: u32) -> TraceRecord {
+        let base = SimTime::ZERO + SimDuration::from_nanos(100 * ticket);
+        TraceRecord {
+            ticket,
+            tee: (ticket % 4) as u8,
+            kind: if ticket.is_multiple_of(2) {
+                TicketKind::Read
+            } else {
+                TicketKind::Write
+            },
+            submitted: base,
+            first_ready: base + SimDuration::from_nanos(50),
+            finished: base + SimDuration::from_nanos(90),
+            meta: TicketAttribution {
+                counter_hits: ticket,
+                counter_misses: 2 * ticket,
+                mac_hits: 3,
+                mac_misses: 4,
+                tree_hits: 5,
+                tree_misses: 6,
+                l2_hits: 7,
+                l2_misses: 8,
+                fill_lines: 9,
+                seal_lines: 10,
+                meta_writes: 11,
+                enc_pads: 12,
+            },
+            faults: FaultStats {
+                read_retries: ticket,
+                mac_fallbacks: 1,
+                ..FaultStats::default()
+            },
+            pages: (0..pages)
+                .map(|index| PageTrace {
+                    index,
+                    lpn: Lpn::new(u64::from(index) + 10),
+                    status: if index == 1 {
+                        PageStatus::Failed {
+                            reason: PageError {
+                                ppn: Ppn::new(99),
+                                attempts: 4,
+                                cause: PageErrorCause::Uncorrectable,
+                            },
+                        }
+                    } else {
+                        PageStatus::Done
+                    },
+                    breakdown: LatencyBreakdown {
+                        submitted: base,
+                        prepared: base + SimDuration::from_nanos(10),
+                        flash_done: base + SimDuration::from_nanos(20),
+                        cipher_done: base + SimDuration::from_nanos(30),
+                        ready: base + SimDuration::from_nanos(40 + u64::from(index)),
+                    },
+                    data_hash: 0xDEAD_0000 + u64::from(index),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_records() {
+        let mut log = TraceLog::new();
+        log.push(sample_record(1, 3));
+        log.push(sample_record(2, 0));
+        log.push(sample_record(7, 2));
+        let decoded = TraceLog::from_bytes(log.as_bytes()).unwrap();
+        assert_eq!(decoded, log);
+        assert_eq!(decoded.records(), log.records());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert_eq!(
+            TraceLog::from_bytes(b"NOTATRACE"),
+            Err(TraceError::BadMagic)
+        );
+        let mut log = TraceLog::new();
+        log.push(sample_record(1, 1));
+        let mut bytes = log.as_bytes().to_vec();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(TraceLog::from_bytes(&bytes), Err(TraceError::Truncated));
+        let mut versioned = log.as_bytes().to_vec();
+        versioned[8] = 99;
+        assert_eq!(
+            TraceLog::from_bytes(&versioned),
+            Err(TraceError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn capture_builds_records_in_close_order_with_sorted_pages() {
+        let mut cap = TraceCapture::new();
+        let ev = |ticket: u64, index: u32, ready_ns: u64| {
+            let mut breakdown = LatencyBreakdown::at_submission(SimTime::ZERO);
+            breakdown.ready = SimTime::ZERO + SimDuration::from_nanos(ready_ns);
+            CompletionEvent {
+                ticket: Ticket::new(ticket),
+                kind: TicketKind::Read,
+                tee: TeeId::new(2).unwrap(),
+                index,
+                lpn: Lpn::new(u64::from(index)),
+                status: PageStatus::Done,
+                breakdown,
+                data: Some(vec![index as u8; 8]),
+            }
+        };
+        // Pages retire out of index order, tickets interleaved.
+        cap.on_retire(&ev(2, 1, 300));
+        cap.on_retire(&ev(1, 0, 100));
+        cap.on_retire(&ev(2, 0, 200));
+        let attrib = TicketAttribution::default();
+        let faults = FaultStats::default();
+        cap.on_close(
+            Ticket::new(2),
+            SimTime::ZERO + SimDuration::from_nanos(300),
+            &attrib,
+            &faults,
+        );
+        cap.on_close(
+            Ticket::new(1),
+            SimTime::ZERO + SimDuration::from_nanos(100),
+            &attrib,
+            &faults,
+        );
+        // Close for a ticket never retired under capture: skipped.
+        cap.on_close(Ticket::new(9), SimTime::ZERO, &attrib, &faults);
+        let log = cap.into_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].ticket, 2, "close order, not ticket order");
+        assert_eq!(log.records()[0].pages[0].index, 0, "pages sorted by index");
+        assert_eq!(log.records()[0].pages[1].index, 1);
+        assert_eq!(
+            log.records()[0].first_ready,
+            SimTime::ZERO + SimDuration::from_nanos(200)
+        );
+        assert_eq!(log.records()[1].ticket, 1);
+        assert_ne!(log.records()[1].pages[0].data_hash, 0);
+    }
+
+    #[test]
+    fn hash_distinguishes_payloads() {
+        assert_eq!(hash_payload(None), 0);
+        let a = hash_payload(Some(&[1, 2, 3]));
+        let b = hash_payload(Some(&[1, 2, 4]));
+        assert_ne!(a, b);
+        assert_eq!(a, hash_payload(Some(&[1, 2, 3])));
+    }
+}

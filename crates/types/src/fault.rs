@@ -43,7 +43,7 @@ impl core::fmt::Display for PageErrorCause {
 /// batch.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub struct PageError {
-    /// The physical page the failure happened at ([`Ppn::new(0)`] when
+    /// The physical page the failure happened at (`Ppn::new(0)` when
     /// the page never reached translation, e.g. cancelled at submit).
     pub ppn: Ppn,
     /// How many attempts were spent before giving up (1 = failed on

@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod attrib;
 pub mod fault;
 pub mod freq;
 pub mod hash;
@@ -39,6 +40,7 @@ pub mod ticket;
 pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
+pub use attrib::TicketAttribution;
 pub use fault::{FaultStats, PageError, PageErrorCause};
 pub use freq::Hertz;
 pub use hash::{FastMap, FastSet, FxHasher};

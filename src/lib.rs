@@ -207,6 +207,7 @@ pub use iceclave_flash;
 pub use iceclave_ftl;
 pub use iceclave_isc;
 pub use iceclave_mee;
+pub use iceclave_obs;
 pub use iceclave_sim;
 pub use iceclave_trustzone;
 pub use iceclave_types;
