@@ -15,6 +15,13 @@
 //!   `iceclave_experiments::fairness::jain` for the formula) — 1.0 is
 //!   a perfect split, the acceptance floor is 0.95 under WFQ.
 //!
+//! A second, **intra-tenant** sweep puts both roles inside one TEE,
+//! where only the hierarchical per-ticket clocks
+//! (`TicketPolicy::Wfq`) can protect the victim: the same antagonist
+//! depths run under the flat lane (`TicketPolicy::Fifo`) and the
+//! hierarchical one, and the acceptance criterion is again a ≥ 2x
+//! victim-p99 improvement at the deepest point.
+//!
 //! The duel driver itself lives in `iceclave_experiments::fairness`,
 //! shared with the acceptance tests in `tests/wfq_fairness.rs` so the
 //! benchmark baseline and the tested protocol cannot diverge. The
@@ -29,7 +36,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use iceclave_core::SchedPolicy;
 use iceclave_experiments::fairness::{
-    jain, p99, run_duel, ANTAGONIST_TICKET_PAGES, VICTIM_TICKET_PAGES,
+    jain, p99, run_duel, run_intra_duel, TicketPolicy, ANTAGONIST_TICKET_PAGES, VICTIM_TICKET_PAGES,
 };
 use iceclave_obs::{BenchReport, Direction};
 
@@ -44,6 +51,14 @@ struct SweepPoint {
     p99_wfq: u64,
     jain_fifo: f64,
     jain_wfq: f64,
+}
+
+/// One point of the intra-tenant duel: the same deep antagonist, but
+/// sharing the victim's TEE — flat lane vs hierarchical ticket clocks.
+struct IntraPoint {
+    in_flight: usize,
+    p99_flat: u64,
+    p99_hier: u64,
 }
 
 fn bench_fairness(c: &mut Criterion) {
@@ -76,6 +91,27 @@ fn bench_fairness(c: &mut Criterion) {
         sweep.push(point);
     }
 
+    // Intra-tenant sweep: both roles share one TEE; only the
+    // hierarchical ticket clocks can protect the victim.
+    let mut intra: Vec<IntraPoint> = Vec::new();
+    for &in_flight in &ANTAGONIST_IN_FLIGHT {
+        let flat = run_intra_duel(TicketPolicy::Fifo, CHANNELS, in_flight, VICTIM_TICKETS);
+        let hier = run_intra_duel(TicketPolicy::Wfq, CHANNELS, in_flight, VICTIM_TICKETS);
+        let point = IntraPoint {
+            in_flight,
+            p99_flat: p99(&flat.victim_latencies).as_nanos(),
+            p99_hier: p99(&hier.victim_latencies).as_nanos(),
+        };
+        println!(
+            "fairness intra-tenant antagonist x{in_flight}: victim p99 flat {} ns / \
+             hierarchical {} ns ({:.2}x)",
+            point.p99_flat,
+            point.p99_hier,
+            point.p99_flat as f64 / point.p99_hier as f64,
+        );
+        intra.push(point);
+    }
+
     // Criterion smoke: time the deepest WFQ duel's submit+poll loop.
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("wfq_duel_8x32_vs_solo4", 8), &8, |b, _| {
@@ -86,7 +122,7 @@ fn bench_fairness(c: &mut Criterion) {
         })
     });
     group.finish();
-    write_baseline(&sweep);
+    write_baseline(&sweep, &intra);
 
     // The acceptance floor of the antagonist sweep's deepest point.
     let deepest = sweep.last().expect("sweep is non-empty");
@@ -101,13 +137,23 @@ fn bench_fairness(c: &mut Criterion) {
         "Jain index under WFQ ({:.3}) must be >= 0.95",
         deepest.jain_wfq,
     );
+    // And of the intra-tenant sweep's deepest point: the hierarchical
+    // clocks must buy the same-tenant victim at least 2x on p99.
+    let deepest = intra.last().expect("sweep is non-empty");
+    assert!(
+        deepest.p99_hier * 2 <= deepest.p99_flat,
+        "intra-tenant victim p99 under hierarchical WFQ ({} ns) must beat the flat lane ({} ns) by 2x",
+        deepest.p99_hier,
+        deepest.p99_flat,
+    );
 }
 
 /// Emits the fairness report: per sweep point the victim's p99 under
-/// both policies and both Jain indices, all gated (deterministic
-/// simulated values), plus the acceptance ratio at the deepest point
-/// as an ungated informational metric.
-fn write_baseline(sweep: &[SweepPoint]) {
+/// both policies and both Jain indices, and per intra-tenant point the
+/// victim's p99 under both ticket policies — all gated (deterministic
+/// simulated values) — plus the acceptance ratios at the deepest
+/// points as ungated informational metrics.
+fn write_baseline(sweep: &[SweepPoint], intra: &[IntraPoint]) {
     let mut report = BenchReport::new("fairness")
         .config("channels", CHANNELS)
         .config("antagonist_batch_pages", ANTAGONIST_TICKET_PAGES)
@@ -153,6 +199,34 @@ fn write_baseline(sweep: &[SweepPoint]) {
         "p99_improvement_at_8",
         "ratio",
         deepest.p99_fifo as f64 / deepest.p99_wfq as f64,
+        Direction::Higher,
+        0.1,
+        false,
+    );
+    for p in intra {
+        let n = p.in_flight;
+        report.push_metric(
+            format!("intra_victim_p99_ns_flat_x{n}"),
+            "ns",
+            p.p99_flat as f64,
+            Direction::Either,
+            0.02,
+            true,
+        );
+        report.push_metric(
+            format!("intra_victim_p99_ns_hier_x{n}"),
+            "ns",
+            p.p99_hier as f64,
+            Direction::Lower,
+            0.02,
+            true,
+        );
+    }
+    let deepest = intra.last().expect("sweep is non-empty");
+    report.push_metric(
+        "intra_p99_improvement_at_8",
+        "ratio",
+        deepest.p99_flat as f64 / deepest.p99_hier as f64,
         Direction::Higher,
         0.1,
         false,

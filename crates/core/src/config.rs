@@ -1,6 +1,6 @@
 //! IceClave runtime configuration.
 
-use iceclave_ftl::SchedPolicy;
+use iceclave_ftl::{SchedPolicy, TicketPolicy};
 use iceclave_isc::IscConfig;
 use iceclave_mee::MeeConfig;
 use iceclave_types::{ByteSize, Hertz, SimDuration};
@@ -38,6 +38,26 @@ pub struct FairnessConfig {
     /// default) leaves queue depth unbounded; the WFQ policy alone
     /// already bounds the *service* share.
     pub channel_budget: Option<u32>,
+    /// How pages are ordered *inside* one tenant's lane.
+    /// [`TicketPolicy::Fifo`] (the default) keeps the legacy flat
+    /// order — a tenant's tickets drain in *(ready, ticket, page)*
+    /// order, bit-identical to the pre-hierarchical arbiter.
+    /// [`TicketPolicy::Wfq`] runs a second SFQ level across the
+    /// tenant's tickets, so a deep ticket shares its tenant's channel
+    /// slots with a small sibling page by page. Per-ticket weights
+    /// (bounded by [`iceclave_ftl::MAX_TICKET_WEIGHT`]) are supplied
+    /// at submission ([`crate::IceClave::submit_batch_async_weighted`]).
+    /// Only meaningful under [`SchedPolicy::Wfq`].
+    pub ticket_policy: TicketPolicy,
+    /// Virtual-time cost of one attributed MEE metadata line, in
+    /// 64-byte line quanta. When positive, the exec driver feeds each
+    /// page's measured fill/seal metadata delta
+    /// (`TicketAttribution::cost_lines`) back into the arbiter as a
+    /// clock surcharge, so metadata-heavy tickets (and tenants) pay
+    /// for the DRAM bandwidth they consume; `1` prices a metadata
+    /// line like a line of flash payload. Zero (the default) disables
+    /// the surcharge and keeps schedules bit-identical to PR 8.
+    pub mee_line_cost: u32,
 }
 
 impl Default for FairnessConfig {
@@ -47,6 +67,8 @@ impl Default for FairnessConfig {
             default_weight: 1,
             weights: Vec::new(),
             channel_budget: None,
+            ticket_policy: TicketPolicy::Fifo,
+            mee_line_cost: 0,
         }
     }
 }

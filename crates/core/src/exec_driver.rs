@@ -242,9 +242,10 @@ fn kick_channel(
     floor: SimTime,
 ) {
     if let Some(grant) = arbiter.try_issue(channel) {
-        exec.schedule_weighted(
+        exec.schedule_hierarchical(
             grant.ready.max(floor),
             grant.vstart,
+            grant.tstart,
             grant.ticket,
             grant.page,
             Stage::FlashRead,
@@ -438,6 +439,24 @@ impl StageCtx<'_> {
             for out in &outcome.pages {
                 let channel = geometry.unpack(out.ppn).channel as usize;
                 self.arbiter.charge(channel, job.tee, 1);
+            }
+            // Seal-side attribution feedback: the ticket's accumulated
+            // metadata lines (seal drain + counter epochs) are spread
+            // across the channels its programs landed on. Writes never
+            // queue in the arbiter, so this debits the tenant's clocks
+            // only; a no-op at the default zero line cost.
+            if self.config.fairness.mee_line_cost > 0 {
+                let total = job.attrib.cost_lines();
+                let pages = outcome.pages.len() as u64;
+                for (index, out) in outcome.pages.iter().enumerate() {
+                    let channel = geometry.unpack(out.ppn).channel as usize;
+                    let mut lines = total / pages;
+                    if index == 0 {
+                        lines += total % pages;
+                    }
+                    self.arbiter
+                        .surcharge_lines(channel, job.tee, ev.ticket, lines);
+                }
             }
         }
 
@@ -641,6 +660,18 @@ impl StageMachine for StageCtx<'_> {
                 job.attrib.add(&delta);
                 job.faults.mac_fallbacks += mac_fallbacks;
                 self.stats.ticket_meta.add(&delta);
+                // Attribution feedback: the fill's measured metadata
+                // traffic surcharges the ticket's (and tenant's)
+                // virtual clocks on the page's channel, so
+                // metadata-heavy tickets yield channel slots to lean
+                // siblings. A no-op at the default zero line cost.
+                if self.config.fairness.policy == SchedPolicy::Wfq
+                    && self.config.fairness.mee_line_cost > 0
+                {
+                    let channel = job.pages[idx].lane;
+                    self.arbiter
+                        .surcharge_lines(channel, job.tee, ev.ticket, delta.cost_lines());
+                }
                 let page = &mut job.pages[idx];
                 page.breakdown.ready = done;
                 page.retired = true;
@@ -779,6 +810,44 @@ impl IceClave {
         class: PageClass,
         now: SimTime,
     ) -> Result<Ticket, IceClaveError> {
+        self.submit_batch_async_inner(tee, lpns, class, 1, now)
+    }
+
+    /// Submits a read batch whose ticket is scheduled at `weight`
+    /// inside its tenant's lane when
+    /// [`TicketPolicy::Wfq`](iceclave_ftl::TicketPolicy) is configured:
+    /// while the tenant's tickets contend for a channel, a weight-2
+    /// ticket is granted twice the pages of a weight-1 sibling. Under
+    /// the default `TicketPolicy::Fifo` the weight is ignored. See
+    /// [`IceClave::submit_batch_async_as`] for the submission
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`IceClave::submit_batch_async_as`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside
+    /// `1..=`[`iceclave_ftl::MAX_TICKET_WEIGHT`].
+    pub fn submit_batch_async_weighted(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        weight: u32,
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
+        self.submit_batch_async_inner(tee, lpns, PageClass::ReadOnly, weight, now)
+    }
+
+    fn submit_batch_async_inner(
+        &mut self,
+        tee: TeeId,
+        lpns: &[Lpn],
+        class: PageClass,
+        ticket_weight: u32,
+        now: SimTime,
+    ) -> Result<Ticket, IceClaveError> {
         self.ensure_running(tee)?;
         if lpns.is_empty() {
             return Ok(self.exec.open_ticket(TicketKind::Read, 0, now));
@@ -914,8 +983,14 @@ impl IceClave {
                     };
                     chain_ready[channel] = Some(ready);
                     touched[channel] = true;
-                    self.arbiter
-                        .enqueue(channel, tee, ticket, index as u32, ready);
+                    self.arbiter.enqueue_weighted(
+                        channel,
+                        tee,
+                        ticket,
+                        index as u32,
+                        ready,
+                        ticket_weight,
+                    );
                 }
                 for (channel, &touched) in touched.iter().enumerate() {
                     if touched {

@@ -61,5 +61,5 @@ pub mod trace;
 pub use config::{FairnessConfig, IceClaveConfig};
 pub use exec_driver::{Stage, READ_RETRY_LIMIT, READ_RETRY_STEP_US};
 pub use host::{HostLibrary, OffloadResult, OffloadTicket};
-pub use iceclave_ftl::SchedPolicy;
+pub use iceclave_ftl::{SchedPolicy, TicketPolicy, MAX_TICKET_WEIGHT};
 pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

@@ -286,6 +286,8 @@ impl IceClave {
         let mut arbiter =
             iceclave_ftl::WfqArbiter::new(config.platform.flash.geometry.channels as usize);
         arbiter.set_default_weight(config.fairness.default_weight);
+        arbiter.set_ticket_policy(config.fairness.ticket_policy);
+        arbiter.set_mee_line_cost(config.fairness.mee_line_cost);
         for &(raw, weight) in &config.fairness.weights {
             let tee = TeeId::new(raw).expect("fairness weight names a valid TEE id (1..=15)");
             arbiter.set_weight(tee, weight);
@@ -354,6 +356,12 @@ impl IceClave {
     /// The memory-encryption engine (for traffic reports).
     pub fn mee(&self) -> &MeeEngine {
         &self.mee
+    }
+
+    /// Read-only view of the WFQ channel arbiter (lane/ticket-clock
+    /// introspection for the fairness and lifecycle test suites).
+    pub fn arbiter(&self) -> &iceclave_ftl::WfqArbiter {
+        &self.arbiter
     }
 
     /// The stream-cipher engine (for functional encryption in tests).

@@ -39,11 +39,16 @@ pub trait RefStageMachine {
     fn advance(&mut self, event: StageEvent<Self::Stage>, exec: &mut RefExecutor<Self::Stage>);
 }
 
+/// The same-tick event ordering key (mirrors the flattened
+/// executor): *(tenant virtual time, ticket virtual time, ticket id,
+/// page index)*.
+type EventKey = (u64, u64, u64, u32);
+
 /// The pre-flattening batch executor: `BinaryHeap` event queue plus
 /// `BTreeMap` ticket table (see the [module docs](self)).
 #[derive(Debug)]
 pub struct RefExecutor<S> {
-    events: HeapKeyedEventQueue<(u64, u64, u32), (Ticket, u32, S)>,
+    events: HeapKeyedEventQueue<EventKey, (Ticket, u32, S)>,
     clock: EventClock,
     completions: CompletionQueue,
     next_ticket: u64,
@@ -94,8 +99,25 @@ impl<S> RefExecutor<S> {
         page: u32,
         stage: S,
     ) {
-        self.events
-            .push(at, (vtime, ticket.raw(), page), (ticket, page, stage));
+        self.schedule_hierarchical(at, vtime, 0, ticket, page, stage);
+    }
+
+    /// Schedules a stage event under the two-level fair-queueing tags
+    /// `(vtime, tvtime)` (same key shape as the flattened executor).
+    pub fn schedule_hierarchical(
+        &mut self,
+        at: SimTime,
+        vtime: u64,
+        tvtime: u64,
+        ticket: Ticket,
+        page: u32,
+        stage: S,
+    ) {
+        self.events.push(
+            at,
+            (vtime, tvtime, ticket.raw(), page),
+            (ticket, page, stage),
+        );
     }
 
     /// Retires one page into the completion queue; `true` when the

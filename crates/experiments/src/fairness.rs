@@ -1,19 +1,23 @@
-//! Closed-loop 2-tenant antagonist duel — the shared harness behind
-//! the WFQ fairness acceptance tests (`tests/wfq_fairness.rs`) and the
-//! `fairness` bench (`BENCH_fairness.json`).
+//! Closed-loop antagonist duel — the shared harness behind the WFQ
+//! fairness acceptance tests (`tests/wfq_fairness.rs`,
+//! `tests/hierarchical_wfq.rs`) and the `fairness` bench
+//! (`BENCH_fairness.json`).
 //!
-//! One tenant (the *antagonist*) keeps a configurable number of
-//! 32-page read tickets in flight; the other (the *victim*) cycles
-//! small 4-page tickets — the latency-sensitive pattern the
+//! One role (the *antagonist*) keeps a configurable number of 32-page
+//! read tickets in flight; the other (the *victim*) cycles small
+//! 4-page tickets — the latency-sensitive pattern the
 //! weighted-fair-queueing channel arbiter protects (Figures 17/18).
-//! Both tenants run closed-loop: every completed ticket is immediately
-//! resubmitted at the (quantized) completion time, so the duel is
-//! fully deterministic.
+//! The roles run either as two tenants (the classic cross-tenant duel,
+//! [`run_duel`]) or inside **one** tenant ([`run_intra_duel`]), where
+//! only the hierarchical per-ticket clocks ([`TicketPolicy::Wfq`]) can
+//! protect the victim. Both roles run closed-loop: every completed
+//! ticket is immediately resubmitted at the (quantized) completion
+//! time, so the duel is fully deterministic.
 
 use std::collections::HashMap;
 
 use iceclave_core::IceClave;
-pub use iceclave_ftl::SchedPolicy;
+pub use iceclave_ftl::{SchedPolicy, TicketPolicy};
 use iceclave_types::{Lpn, SimDuration, SimTime};
 
 use crate::modes::{Mode, Overrides};
@@ -22,6 +26,29 @@ use crate::modes::{Mode, Overrides};
 pub const ANTAGONIST_TICKET_PAGES: u64 = 32;
 /// Pages per victim ticket.
 pub const VICTIM_TICKET_PAGES: u64 = 4;
+
+/// Full parameterization of one closed-loop duel.
+#[derive(Clone, Debug)]
+pub struct DuelConfig {
+    /// Cross-tenant arbitration policy.
+    pub policy: SchedPolicy,
+    /// Intra-lane (per-ticket) scheduling policy.
+    pub ticket_policy: TicketPolicy,
+    /// MEE metadata surcharge multiplier (`FairnessConfig::mee_line_cost`).
+    pub mee_line_cost: u32,
+    /// Flash channels on the device.
+    pub channels: u32,
+    /// 32-page antagonist tickets kept in flight.
+    pub antagonist_in_flight: usize,
+    /// 4-page victim tickets kept in flight (1 = strictly solo).
+    pub victim_in_flight: usize,
+    /// Victim tickets to complete before the duel ends.
+    pub victim_tickets: usize,
+    /// When true, antagonist and victim share **one** TEE — the
+    /// intra-tenant interference scenario where only the ticket-level
+    /// clocks can help.
+    pub shared_tenant: bool,
+}
 
 /// Outcome of one closed-loop duel run.
 #[derive(Clone, Debug)]
@@ -35,10 +62,11 @@ pub struct DuelOutcome {
     pub antagonist_pages: u64,
 }
 
-/// Runs the duel under `policy` on a `channels`-channel device: the
-/// antagonist keeps `antagonist_in_flight` 32-page tickets in flight,
-/// the victim `victim_in_flight` 4-page tickets (1 = strictly solo),
-/// until the victim completes `victim_tickets` tickets.
+/// Runs the classic cross-tenant duel under `policy` on a
+/// `channels`-channel device: the antagonist tenant keeps
+/// `antagonist_in_flight` 32-page tickets in flight, the victim tenant
+/// `victim_in_flight` 4-page tickets (1 = strictly solo), until the
+/// victim completes `victim_tickets` tickets.
 ///
 /// # Panics
 ///
@@ -51,12 +79,67 @@ pub fn run_duel(
     victim_in_flight: usize,
     victim_tickets: usize,
 ) -> DuelOutcome {
+    run_duel_with(&DuelConfig {
+        policy,
+        ticket_policy: TicketPolicy::Fifo,
+        mee_line_cost: 0,
+        channels,
+        antagonist_in_flight,
+        victim_in_flight,
+        victim_tickets,
+        shared_tenant: false,
+    })
+}
+
+/// Runs the **intra-tenant** duel: one TEE owns both roles, the
+/// antagonist keeping `antagonist_in_flight` deep tickets in flight
+/// against a single cycling 4-page victim ticket, under the given
+/// intra-lane `ticket_policy` ([`TicketPolicy::Fifo`] = today's flat
+/// lane, [`TicketPolicy::Wfq`] = hierarchical per-ticket clocks).
+/// Cross-tenant policy is always [`SchedPolicy::Wfq`] — there is only
+/// one tenant, so it contributes nothing; any victim protection comes
+/// from the ticket level.
+///
+/// # Panics
+///
+/// As [`run_duel`].
+pub fn run_intra_duel(
+    ticket_policy: TicketPolicy,
+    channels: u32,
+    antagonist_in_flight: usize,
+    victim_tickets: usize,
+) -> DuelOutcome {
+    run_duel_with(&DuelConfig {
+        policy: SchedPolicy::Wfq,
+        ticket_policy,
+        mee_line_cost: 0,
+        channels,
+        antagonist_in_flight,
+        victim_in_flight: 1,
+        victim_tickets,
+        shared_tenant: true,
+    })
+}
+
+/// Runs one closed-loop duel fully parameterized by `config`.
+///
+/// # Panics
+///
+/// As [`run_duel`].
+pub fn run_duel_with(cfg: &DuelConfig) -> DuelOutcome {
     let overrides = Overrides {
-        channels: Some(channels),
+        channels: Some(cfg.channels),
         ..Overrides::none()
     };
     let mut config = Mode::IceClave.ssd_config(&overrides);
-    config.fairness.policy = policy;
+    config.fairness.policy = cfg.policy;
+    config.fairness.ticket_policy = cfg.ticket_policy;
+    config.fairness.mee_line_cost = cfg.mee_line_cost;
+    let (antagonist_in_flight, victim_in_flight, victim_tickets) = (
+        cfg.antagonist_in_flight,
+        cfg.victim_in_flight,
+        cfg.victim_tickets,
+    );
     let mut ice = IceClave::new(config);
     let ant_range = ANTAGONIST_TICKET_PAGES * antagonist_in_flight as u64;
     let t0 = ice
@@ -64,8 +147,17 @@ pub fn run_duel(
         .expect("device holds the duel");
     let ant_lpns: Vec<Lpn> = (0..ant_range).map(Lpn::new).collect();
     let victim_lpns: Vec<Lpn> = (ant_range..ant_range + 64).map(Lpn::new).collect();
-    let (ant, _) = ice.offload_code(1024, &ant_lpns, t0).expect("antagonist");
-    let (victim, t0) = ice.offload_code(1024, &victim_lpns, t0).expect("victim");
+    let (ant, victim, t0) = if cfg.shared_tenant {
+        let all_lpns: Vec<Lpn> = (0..ant_range + 64).map(Lpn::new).collect();
+        let (tenant, t0) = ice
+            .offload_code(1024, &all_lpns, t0)
+            .expect("shared tenant");
+        (tenant, tenant, t0)
+    } else {
+        let (ant, _) = ice.offload_code(1024, &ant_lpns, t0).expect("antagonist");
+        let (victim, t0) = ice.offload_code(1024, &victim_lpns, t0).expect("victim");
+        (ant, victim, t0)
+    };
 
     struct InFlight {
         is_victim: bool,
@@ -192,5 +284,18 @@ mod tests {
             (d.victim_latencies, d.victim_pages, d.antagonist_pages)
         };
         assert_eq!(run(), run());
+    }
+
+    /// The intra-tenant duel is deterministic too, under both intra-lane
+    /// policies.
+    #[test]
+    fn intra_duel_runs_are_deterministic() {
+        for policy in [TicketPolicy::Fifo, TicketPolicy::Wfq] {
+            let run = || {
+                let d = run_intra_duel(policy, 8, 2, 5);
+                (d.victim_latencies, d.victim_pages, d.antagonist_pages)
+            };
+            assert_eq!(run(), run());
+        }
     }
 }

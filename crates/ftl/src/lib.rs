@@ -63,4 +63,4 @@ pub use ftl::{
 pub use iceclave_flash::{FaultInjector, FaultPlan, FlashError, ReadFault};
 pub use mapping::{MappingEntry, MappingTable};
 pub use scheduler::{ChannelScheduler, QueuedOp, ScheduledItem};
-pub use wfq::{IssueGrant, SchedPolicy, WfqArbiter, MAX_WEIGHT};
+pub use wfq::{IssueGrant, SchedPolicy, TicketPolicy, WfqArbiter, MAX_TICKET_WEIGHT, MAX_WEIGHT};

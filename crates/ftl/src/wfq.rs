@@ -24,6 +24,24 @@
 //!   these are the preemption points the multi-tenant figures
 //!   (Figures 17/18) schedule against.
 //!
+//! # Hierarchical (two-level) mode
+//!
+//! Under [`TicketPolicy::Wfq`] the same SFQ machinery recurses one
+//! level down: the winning *lane* runs its own virtual clock over
+//! per-ticket sub-lanes, so a tenant's deep analytics ticket yields to
+//! that same tenant's four-page point lookup at every page boundary.
+//! Ticket clocks can additionally be *surcharged* with the MEE line
+//! traffic the ticket's pages actually generated
+//! ([`WfqArbiter::surcharge_lines`]), making integrity-metadata
+//! bandwidth a scheduled resource rather than an externality. A fresh
+//! sub-lane enters at the lane clock (prompt first grant for sparse
+//! arrivals), and a *draining* sub-lane surrenders its finish tag to
+//! the lane clock on departure — so a tenant cannot grow its share by
+//! splitting work across many short tickets, and a cycling K-page
+//! ticket's long-run grant share is exactly its weighted share. With
+//! one ticket per lane — or under the legacy [`TicketPolicy::Fifo`] —
+//! the grant sequence is bit-identical to the flat arbiter.
+//!
 //! # Invariants
 //!
 //! 1. **One grant in flight.** A channel with queued pages always has
@@ -37,18 +55,22 @@
 //!    number of pages granted to each is proportional to its weight,
 //!    within one quantum per lane (regression-tested: any 10k-grant
 //!    window of an equal-weight duel stays within 10% of an even
-//!    split).
+//!    split). Under `TicketPolicy::Wfq` the same holds one level down
+//!    between a lane's backlogged tickets.
 //! 3. **Starvation freedom.** A backlogged lane's head page is granted
 //!    after at most `ceil(W_other / w_self)` quanta of other-lane
-//!    service, no matter how deep the other queues are.
+//!    service, no matter how deep the other queues are. Under
+//!    `TicketPolicy::Wfq` a backlogged *ticket* enjoys the same bound
+//!    against its sibling tickets.
 //! 4. **Single-tenant transparency.** With one lane, grants replay the
 //!    *(effective ready, ticket, page)* order of the pre-WFQ executor,
 //!    so a solo tenant's schedule is bit-identical to the legacy FIFO
-//!    path.
+//!    path. Likewise, a lane holding a single ticket grants the same
+//!    *(ready, page)* order under either ticket policy.
 //! 5. **Determinism.** Selection depends only on arbiter state: ties on
-//!    start tags break by TEE id, ties inside a lane by
-//!    *(ready, ticket, page)*. Identical submission sequences produce
-//!    identical grant sequences.
+//!    start tags break by TEE id (and by ticket id one level down),
+//!    ties inside a (sub-)lane by *(ready, ticket, page)*. Identical
+//!    submission sequences produce identical grant sequences.
 //!
 //! Writes do not queue here — [`Ftl::write_batch`](crate::Ftl) steers a
 //! whole batch in one secure-world entry — but their channel
@@ -81,15 +103,40 @@ pub enum SchedPolicy {
     Wfq,
 }
 
+/// How pages are ordered *inside* one tenant's lane.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub enum TicketPolicy {
+    /// Legacy behavior (the default): the lane is one FIFO heap over
+    /// *(ready, ticket, page)*, so a deep ticket's earlier pages drain
+    /// before a later ticket's — intra-tenant head-of-line blocking.
+    #[default]
+    Fifo,
+    /// Hierarchical fair queueing: each ticket gets its own virtual
+    /// clock inside the lane, weighted per ticket and optionally
+    /// surcharged by attributed MEE line traffic, so sibling tickets
+    /// share the tenant's channel slots page by page.
+    Wfq,
+}
+
 /// One page-sized quantum in virtual-time units, scaled by `1 << 16`
 /// so integer division by the weight keeps sub-quantum precision.
 const QUANTUM_FP: u64 = 4096 << 16;
+
+/// One MEE cache line (64 bytes, 64 per 4 KiB page) in the same
+/// virtual-time units as [`QUANTUM_FP`] — the unit
+/// [`WfqArbiter::surcharge_lines`] charges in.
+const LINE_FP: u64 = QUANTUM_FP / 64;
 
 /// Largest accepted tenant weight. Bounded so `QUANTUM_FP / weight`
 /// can never truncate to zero — a zero per-grant quantum would stop a
 /// lane's finish tag from advancing and let that tenant monopolize the
 /// channel, silently breaking starvation freedom.
 pub const MAX_WEIGHT: u32 = 1 << 20;
+
+/// Largest accepted per-ticket weight, mirroring [`MAX_WEIGHT`] for
+/// the same reason one level down: the ticket-clock quantum must never
+/// truncate to zero.
+pub const MAX_TICKET_WEIGHT: u32 = MAX_WEIGHT;
 
 /// A page read granted the channel by [`WfqArbiter::try_issue`].
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -103,6 +150,24 @@ pub struct IssueGrant {
     /// The SFQ start tag assigned to the grant — the virtual-time key
     /// the executor orders same-tick events by.
     pub vstart: u64,
+    /// The ticket-level start tag inside the winning lane — the
+    /// secondary virtual-time key under [`TicketPolicy::Wfq`]; always
+    /// zero under [`TicketPolicy::Fifo`].
+    pub tstart: u64,
+}
+
+/// One ticket's sub-lane inside a tenant lane ([`TicketPolicy::Wfq`]).
+#[derive(Clone, Debug)]
+struct TicketLane {
+    /// Raw ticket id.
+    ticket: u64,
+    /// Per-ticket weight, fixed at enqueue time.
+    weight: u32,
+    /// Virtual finish tag of the ticket's last grant (or surcharge),
+    /// in the lane's ticket-clock domain.
+    finish: u64,
+    /// Queued pages as a min-heap over *(effective ready, page)*.
+    queue: BinaryHeap<Reverse<(SimTime, u32)>>,
 }
 
 /// One tenant's per-channel queue state.
@@ -114,7 +179,24 @@ struct Lane {
     /// page index)* — the pre-WFQ issue order of a lone tenant. Keys
     /// are unique (a page queues once), so popping the heap yields
     /// exactly the ascending key order the former ordered map gave.
+    /// Used under [`TicketPolicy::Fifo`]; empty otherwise.
     queue: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Ticket-clock virtual time: the ticket-level start tag of the
+    /// lane's last grant ([`TicketPolicy::Wfq`] only).
+    tvtime: u64,
+    /// Per-ticket sub-lanes, each non-empty by construction (a drained
+    /// sub-lane is removed on the spot — read tickets enqueue all
+    /// their pages at submission, so an empty sub-lane can never
+    /// refill). Kept in ascending ticket-id order: ticket ids are
+    /// allocated monotonically and all pages of a ticket enqueue
+    /// together. Used under [`TicketPolicy::Wfq`]; empty otherwise.
+    tickets: Vec<TicketLane>,
+}
+
+impl Lane {
+    fn queued(&self) -> usize {
+        self.queue.len() + self.tickets.iter().map(|t| t.queue.len()).sum::<usize>()
+    }
 }
 
 /// One flash channel's SFQ state.
@@ -169,6 +251,30 @@ impl ChannelWfq {
 /// }
 /// assert_eq!(order[..5], [1, 2, 1, 2, 1], "B is served every other page");
 /// ```
+///
+/// Under [`TicketPolicy::Wfq`] the same holds between one tenant's own
+/// tickets:
+///
+/// ```
+/// use iceclave_ftl::{TicketPolicy, WfqArbiter};
+/// use iceclave_types::{SimTime, TeeId, Ticket};
+///
+/// let mut arb = WfqArbiter::new(1);
+/// arb.set_ticket_policy(TicketPolicy::Wfq);
+/// let a = TeeId::new(1).unwrap();
+/// for page in 0..8 {
+///     arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+/// }
+/// for page in 0..2 {
+///     arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+/// }
+/// let mut order = Vec::new();
+/// while let Some(grant) = arb.try_issue(0) {
+///     order.push(grant.ticket.raw());
+///     arb.release(grant.ticket, grant.page);
+/// }
+/// assert_eq!(order[..5], [1, 2, 1, 2, 1], "sibling tickets alternate");
+/// ```
 #[derive(Clone, Debug)]
 pub struct WfqArbiter {
     channels: Vec<ChannelWfq>,
@@ -176,11 +282,16 @@ pub struct WfqArbiter {
     /// `default_weight`.
     weights: [Option<u32>; MAX_TENANTS],
     default_weight: u32,
+    ticket_policy: TicketPolicy,
+    /// Virtual-time cost of one attributed MEE line, in units of
+    /// [`LINE_FP`]. Zero (the default) disables surcharging entirely.
+    mee_line_cost: u32,
 }
 
 impl WfqArbiter {
     /// An arbiter over `channels` idle channels with every tenant at
-    /// weight 1.
+    /// weight 1, ticket policy [`TicketPolicy::Fifo`], and MEE
+    /// surcharging off.
     ///
     /// # Panics
     ///
@@ -191,6 +302,8 @@ impl WfqArbiter {
             channels: vec![ChannelWfq::default(); channels],
             weights: [None; MAX_TENANTS],
             default_weight: 1,
+            ticket_policy: TicketPolicy::Fifo,
+            mee_line_cost: 0,
         }
     }
 
@@ -226,13 +339,50 @@ impl WfqArbiter {
         self.weights[usize::from(tee.raw())].unwrap_or(self.default_weight)
     }
 
+    /// Selects how pages are ordered inside one tenant's lane. Must be
+    /// set while the arbiter is idle — the two policies keep queued
+    /// pages in different structures, so flipping mid-backlog would
+    /// strand entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pages are queued.
+    pub fn set_ticket_policy(&mut self, policy: TicketPolicy) {
+        assert_eq!(
+            self.queued_total(),
+            0,
+            "ticket policy must be set while the arbiter is idle"
+        );
+        self.ticket_policy = policy;
+    }
+
+    /// The intra-lane scheduling policy currently in force.
+    pub fn ticket_policy(&self) -> TicketPolicy {
+        self.ticket_policy
+    }
+
+    /// Sets the virtual-time cost of one attributed MEE line, in
+    /// 64-byte line quanta (1/64 of the page quantum). Zero (the
+    /// default) makes
+    /// [`WfqArbiter::surcharge_lines`] a no-op; `cost` = 1 prices a
+    /// metadata line like a line of flash payload.
+    pub fn set_mee_line_cost(&mut self, cost: u32) {
+        self.mee_line_cost = cost;
+    }
+
+    /// The configured per-line MEE surcharge multiplier.
+    pub fn mee_line_cost(&self) -> u32 {
+        self.mee_line_cost
+    }
+
     /// Number of channels under arbitration.
     pub fn channels(&self) -> usize {
         self.channels.len()
     }
 
-    /// Queues `(ticket, page)` of `tee` on `channel`, eligible from
-    /// `ready` (the page's chain-effective ready time).
+    /// Queues `(ticket, page)` of `tee` on `channel` at ticket weight
+    /// 1, eligible from `ready` (the page's chain-effective ready
+    /// time).
     ///
     /// # Panics
     ///
@@ -245,10 +395,63 @@ impl WfqArbiter {
         page: u32,
         ready: SimTime,
     ) {
-        self.channels[channel]
-            .lane_mut(u16::from(tee.raw()))
-            .queue
-            .push(Reverse((ready, ticket.raw(), page)));
+        self.enqueue_weighted(channel, tee, ticket, page, ready, 1);
+    }
+
+    /// Queues `(ticket, page)` of `tee` on `channel`, eligible from
+    /// `ready`, with the ticket scheduled at `weight` inside its lane
+    /// under [`TicketPolicy::Wfq`]. Under [`TicketPolicy::Fifo`] the
+    /// weight is ignored (the lane is a single FIFO). All pages of one
+    /// ticket carry the same weight; the last enqueued value wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `weight` is outside
+    /// `1..=`[`MAX_TICKET_WEIGHT`].
+    pub fn enqueue_weighted(
+        &mut self,
+        channel: usize,
+        tee: TeeId,
+        ticket: Ticket,
+        page: u32,
+        ready: SimTime,
+        weight: u32,
+    ) {
+        assert!(
+            (1..=MAX_TICKET_WEIGHT).contains(&weight),
+            "ticket weights must be in 1..={MAX_TICKET_WEIGHT}"
+        );
+        let lane = self.channels[channel].lane_mut(u16::from(tee.raw()));
+        match self.ticket_policy {
+            TicketPolicy::Fifo => lane.queue.push(Reverse((ready, ticket.raw(), page))),
+            TicketPolicy::Wfq => {
+                let raw = ticket.raw();
+                let sub = match lane.tickets.iter_mut().find(|t| t.ticket == raw) {
+                    Some(sub) => sub,
+                    None => {
+                        // New tickets enter at finish 0: their first
+                        // start tag is max(tvtime, 0) = tvtime, so a
+                        // fresh ticket starts at the lane clock and is
+                        // granted promptly. Churn cannot bank credit,
+                        // because a *departing* ticket surrenders its
+                        // finish tag to the lane clock (see
+                        // `try_issue`): back-to-back short tickets
+                        // each start one quantum later, keeping a
+                        // cycling K-page ticket's long-run share at
+                        // exactly its weighted share.
+                        lane.tickets.push(TicketLane {
+                            ticket: raw,
+                            weight,
+                            finish: 0,
+                            queue: BinaryHeap::new(),
+                        });
+                        lane.tickets.last_mut().expect("just pushed")
+                    }
+                };
+                sub.weight = weight;
+                sub.queue.push(Reverse((ready, page)));
+            }
+        }
     }
 
     /// Number of pages `tee` has queued (not yet granted) on
@@ -260,7 +463,7 @@ impl WfqArbiter {
     pub fn queued(&self, channel: usize, tee: TeeId) -> usize {
         self.channels[channel].lanes[usize::from(tee.raw())]
             .as_ref()
-            .map_or(0, |lane| lane.queue.len())
+            .map_or(0, Lane::queued)
     }
 
     /// Total queued pages across all channels and tenants.
@@ -268,8 +471,52 @@ impl WfqArbiter {
         self.channels
             .iter()
             .flat_map(|c| c.lanes.iter().flatten())
-            .map(|l| l.queue.len())
+            .map(Lane::queued)
             .sum()
+    }
+
+    /// Number of pages `ticket` still has queued on `channel` under
+    /// `tee` — zero once the ticket's sub-lane has drained (its clock
+    /// state is dropped with it). Test/introspection hook for the
+    /// lifecycle suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn ticket_backlog(&self, channel: usize, tee: TeeId, ticket: Ticket) -> usize {
+        let raw = ticket.raw();
+        self.channels[channel].lanes[usize::from(tee.raw())]
+            .as_ref()
+            .map_or(0, |lane| {
+                let flat = lane
+                    .queue
+                    .iter()
+                    .filter(|&&Reverse((_, t, _))| t == raw)
+                    .count();
+                let sub = lane
+                    .tickets
+                    .iter()
+                    .find(|t| t.ticket == raw)
+                    .map_or(0, |t| t.queue.len());
+                flat + sub
+            })
+    }
+
+    /// The ticket-clock finish tag of `ticket` on `channel` under
+    /// `tee`, or `None` once the sub-lane has drained (or under
+    /// [`TicketPolicy::Fifo`], which keeps no ticket clocks).
+    /// Test/introspection hook: the no-double-charge retry test pins
+    /// this tag across retry rungs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn ticket_clock(&self, channel: usize, tee: TeeId, ticket: Ticket) -> Option<u64> {
+        let raw = ticket.raw();
+        self.channels[channel].lanes[usize::from(tee.raw())]
+            .as_ref()
+            .and_then(|lane| lane.tickets.iter().find(|t| t.ticket == raw))
+            .map(|t| t.finish)
     }
 
     /// Grants `channel` to the queued page with the smallest virtual
@@ -279,8 +526,12 @@ impl WfqArbiter {
     ///
     /// Selection: per backlogged lane the prospective start tag is
     /// `max(vtime, lane.finish)`; the smallest tag wins, ties by TEE
-    /// id. Within the winning lane the head page (smallest
-    /// *(ready, ticket, page)*) issues.
+    /// id. Within the winning lane, [`TicketPolicy::Fifo`] issues the
+    /// head page (smallest *(ready, ticket, page)*);
+    /// [`TicketPolicy::Wfq`] first picks the ticket sub-lane with the
+    /// smallest ticket-clock start tag `max(tvtime, ticket.finish)`
+    /// (ties by ticket id), then issues that ticket's head page
+    /// (smallest *(ready, page)*).
     ///
     /// # Panics
     ///
@@ -297,7 +548,7 @@ impl WfqArbiter {
         let mut winner: Option<(u64, usize)> = None;
         for (tee_raw, lane) in ch.lanes.iter().enumerate() {
             let Some(lane) = lane else { continue };
-            if lane.queue.is_empty() {
+            if lane.queued() == 0 {
                 continue;
             }
             let start = ch.vtime.max(lane.finish);
@@ -308,7 +559,45 @@ impl WfqArbiter {
         let (start, tee_raw) = winner?;
         let weight = self.weights[tee_raw].unwrap_or(default_weight);
         let lane = ch.lanes[tee_raw].as_mut().expect("winning lane exists");
-        let Reverse((ready, ticket, page)) = lane.queue.pop().expect("lane is backlogged");
+        let (ready, ticket, page, tstart) = match self.ticket_policy {
+            TicketPolicy::Fifo => {
+                let Reverse((ready, ticket, page)) = lane.queue.pop().expect("lane is backlogged");
+                (ready, ticket, page, 0)
+            }
+            TicketPolicy::Wfq => {
+                // Same SFQ selection one level down: smallest
+                // prospective ticket start tag wins, ties toward the
+                // smaller ticket id (sub-lanes sit in ascending-id
+                // order, so strict `<` suffices).
+                let mut best: Option<(u64, usize)> = None;
+                for (index, sub) in lane.tickets.iter().enumerate() {
+                    let tstart = lane.tvtime.max(sub.finish);
+                    if best.is_none_or(|(b, _)| tstart < b) {
+                        best = Some((tstart, index));
+                    }
+                }
+                let (tstart, index) = best.expect("lane is backlogged");
+                let sub = &mut lane.tickets[index];
+                let Reverse((ready, page)) = sub.queue.pop().expect("sub-lane is non-empty");
+                sub.finish = tstart + QUANTUM_FP / u64::from(sub.weight);
+                lane.tvtime = tstart;
+                let ticket = sub.ticket;
+                if sub.queue.is_empty() {
+                    // Read tickets enqueue every page at submission,
+                    // so a drained sub-lane never refills: drop it
+                    // (and its clock) to keep the scan short and the
+                    // channel leak-free. The departing ticket
+                    // surrenders its finish tag to the lane clock
+                    // first — a successor ticket entering at finish 0
+                    // then starts where this one left off, so a tenant
+                    // cannot bank credit by splitting work into
+                    // back-to-back short tickets (churn gaming).
+                    lane.tvtime = lane.tvtime.max(sub.finish);
+                    lane.tickets.remove(index);
+                }
+                (ready, ticket, page, tstart)
+            }
+        };
         lane.finish = start + QUANTUM_FP / u64::from(weight);
         ch.vtime = start;
         ch.busy = Some((ticket, page));
@@ -317,6 +606,7 @@ impl WfqArbiter {
             page,
             ready,
             vstart: start,
+            tstart,
         })
     }
 
@@ -351,6 +641,41 @@ impl WfqArbiter {
         lane.finish = vtime.max(lane.finish) + pages * (QUANTUM_FP / weight);
     }
 
+    /// Charges `lines` attributed MEE cache lines (64 bytes each) of
+    /// metadata traffic to `tee`'s lane on `channel` — and, under
+    /// [`TicketPolicy::Wfq`], to `ticket`'s clock inside that lane —
+    /// scaled by the configured [`WfqArbiter::set_mee_line_cost`]
+    /// multiplier and divided by the respective weights. A no-op when
+    /// the multiplier is zero (the default) or the ticket's sub-lane
+    /// has already drained.
+    ///
+    /// This is the attribution feedback path: the exec driver measures
+    /// each page's fill/seal MEE delta (`MeeSnap`) and surcharges it
+    /// here, so metadata-heavy tickets advance their clocks faster and
+    /// yield more channel slots to their lean siblings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn surcharge_lines(&mut self, channel: usize, tee: TeeId, ticket: Ticket, lines: u64) {
+        if self.mee_line_cost == 0 || lines == 0 {
+            return;
+        }
+        let surcharge = lines * u64::from(self.mee_line_cost) * LINE_FP;
+        let tenant_weight = u64::from(self.weight_of(tee));
+        let ch = &mut self.channels[channel];
+        let vtime = ch.vtime;
+        let lane = ch.lane_mut(u16::from(tee.raw()));
+        lane.finish = vtime.max(lane.finish) + surcharge / tenant_weight;
+        let raw = ticket.raw();
+        if let Some(sub) = lane.tickets.iter_mut().find(|t| t.ticket == raw) {
+            // The sub-lane's finish is already >= any start tag it was
+            // granted at, so a plain debit suffices (no vtime clamp —
+            // the ticket is live, not re-entering from idle).
+            sub.finish += surcharge / u64::from(sub.weight);
+        }
+    }
+
     /// The virtual tag ordering `tee`'s batch-level (Program) events
     /// against other tenants' same-tick events: the tenant's largest
     /// per-channel finish tag. A tenant that has consumed more channel
@@ -365,10 +690,10 @@ impl WfqArbiter {
     }
 
     /// Drops every queued (ungranted) page of `ticket` across all
-    /// channels and releases its in-flight grants — TEE teardown
-    /// support. Stage events already on the executor's heap for the
-    /// released grants become no-ops; the caller re-kicks the affected
-    /// channels.
+    /// channels — including its ticket sub-lanes and their clocks —
+    /// and releases its in-flight grants — TEE teardown support. Stage
+    /// events already on the executor's heap for the released grants
+    /// become no-ops; the caller re-kicks the affected channels.
     ///
     /// Returns the channels whose grant was released (and therefore
     /// need a re-kick).
@@ -378,6 +703,7 @@ impl WfqArbiter {
         for (index, ch) in self.channels.iter_mut().enumerate() {
             for lane in ch.lanes.iter_mut().flatten() {
                 lane.queue.retain(|&Reverse((_, t, _))| t != raw);
+                lane.tickets.retain(|t| t.ticket != raw);
             }
             if matches!(ch.busy, Some((t, _)) if t == raw) {
                 ch.busy = None;
@@ -388,11 +714,11 @@ impl WfqArbiter {
     }
 
     /// Forgets `tee`'s lanes entirely (id recycling): queued pages are
-    /// dropped, the finish tags reset, and any runtime-set weight is
-    /// removed, so the next TEE to reuse the id starts fresh at the
-    /// default weight. Callers with externally configured weights
-    /// (e.g. `iceclave_core`'s `FairnessConfig`) reseed them after
-    /// this call.
+    /// dropped, the finish and ticket-clock tags reset, and any
+    /// runtime-set weight is removed, so the next TEE to reuse the id
+    /// starts fresh at the default weight. Callers with externally
+    /// configured weights (e.g. `iceclave_core`'s `FairnessConfig`)
+    /// reseed them after this call.
     pub fn forget_tee(&mut self, tee: TeeId) {
         let raw = usize::from(tee.raw());
         for ch in &mut self.channels {
@@ -609,5 +935,272 @@ mod tests {
             position <= MAX_WEIGHT + 1,
             "victim granted only after {position} grants"
         );
+    }
+
+    // ---- hierarchical (TicketPolicy::Wfq) tests ----
+
+    fn hier(channels: usize) -> WfqArbiter {
+        let mut arb = WfqArbiter::new(channels);
+        arb.set_ticket_policy(TicketPolicy::Wfq);
+        arb
+    }
+
+    /// A same-tenant deep ticket and small ticket alternate page by
+    /// page under the hierarchical policy — the intra-tenant analog of
+    /// `equal_weights_alternate_under_backlog`.
+    #[test]
+    fn sibling_tickets_alternate_under_backlog() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        for page in 0..8 {
+            arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+        }
+        for page in 0..4 {
+            arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+        }
+        let order = drain_grants(&mut arb, 0);
+        let tickets: Vec<u64> = order.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tickets[..8], [1, 2, 1, 2, 1, 2, 1, 2]);
+        assert_eq!(tickets[8..], [1, 1, 1, 1], "survivor drains alone");
+    }
+
+    /// A ticket enqueued at weight 2 gets twice the grants of its
+    /// weight-1 sibling while both stay backlogged.
+    #[test]
+    fn ticket_weight_two_gets_twice_the_grants() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        for page in 0..8 {
+            arb.enqueue_weighted(0, a, Ticket::new(1), page, SimTime::ZERO, 2);
+            arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+        }
+        let mut heavy = 0i64;
+        let mut light = 0i64;
+        for &(t, _) in &drain_grants(&mut arb, 0)[..9] {
+            if t == 1 {
+                heavy += 1;
+            } else {
+                light += 1;
+            }
+            assert!(
+                (heavy - 2 * light).abs() <= 2,
+                "ticket share drifted: heavy={heavy} light={light}"
+            );
+        }
+    }
+
+    /// With exactly one ticket per tenant, the hierarchical arbiter
+    /// reproduces the flat grant sequence bit for bit.
+    #[test]
+    fn one_ticket_per_tenant_matches_flat_grants() {
+        let enqueue_all = |arb: &mut WfqArbiter| {
+            let (a, b) = (tee(1), tee(2));
+            for page in 0..6 {
+                arb.enqueue(
+                    0,
+                    a,
+                    Ticket::new(1),
+                    page,
+                    SimTime::from_ps(u64::from(page) * 3),
+                );
+            }
+            for page in 0..4 {
+                arb.enqueue(
+                    0,
+                    b,
+                    Ticket::new(2),
+                    page,
+                    SimTime::from_ps(u64::from(page) * 5),
+                );
+            }
+        };
+        let mut flat = WfqArbiter::new(1);
+        enqueue_all(&mut flat);
+        let mut two_level = hier(1);
+        enqueue_all(&mut two_level);
+        let mut flat_grants = Vec::new();
+        let mut hier_grants = Vec::new();
+        loop {
+            let f = flat.try_issue(0);
+            let h = two_level.try_issue(0);
+            match (f, h) {
+                (None, None) => break,
+                (Some(f), Some(h)) => {
+                    assert_eq!(
+                        (f.ticket, f.page, f.ready, f.vstart),
+                        (h.ticket, h.page, h.ready, h.vstart)
+                    );
+                    flat.release(f.ticket, f.page);
+                    two_level.release(h.ticket, h.page);
+                    flat_grants.push((f.ticket.raw(), f.page));
+                    hier_grants.push((h.ticket.raw(), h.page));
+                }
+                other => panic!("grant streams diverged: {other:?}"),
+            }
+        }
+        assert_eq!(flat_grants, hier_grants);
+        assert_eq!(flat_grants.len(), 10);
+    }
+
+    /// Surcharged MEE lines defer the heavy ticket: after a 64-line
+    /// (one full page quantum) surcharge, the lean sibling gets the
+    /// next two grants back to back.
+    #[test]
+    fn surcharge_defers_metadata_heavy_ticket() {
+        let mut arb = hier(1);
+        arb.set_mee_line_cost(1);
+        let a = tee(1);
+        for page in 0..4 {
+            arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+            arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+        }
+        let g = arb.try_issue(0).unwrap();
+        assert_eq!(g.ticket.raw(), 1, "ticket 1 leads by id tie-break");
+        // Ticket 1's page generated a full page of metadata traffic:
+        // its clock advances one extra quantum.
+        arb.surcharge_lines(0, a, Ticket::new(1), 64);
+        arb.release(g.ticket, g.page);
+        let order = drain_grants(&mut arb, 0);
+        let tickets: Vec<u64> = order.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            tickets[..3],
+            [2, 2, 1],
+            "surcharge is worth one extra grant to the sibling"
+        );
+    }
+
+    /// Surcharging with a zero multiplier (the default) never perturbs
+    /// the schedule.
+    #[test]
+    fn zero_line_cost_surcharge_is_a_noop() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        for page in 0..2 {
+            arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+            arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+        }
+        arb.surcharge_lines(0, a, Ticket::new(1), 1_000_000);
+        let order = drain_grants(&mut arb, 0);
+        let tickets: Vec<u64> = order.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tickets, vec![1, 2, 1, 2]);
+    }
+
+    /// Cancelling a ticket under the hierarchical policy purges its
+    /// sub-lane and clock on every channel.
+    #[test]
+    fn cancel_ticket_purges_ticket_clocks() {
+        let mut arb = hier(2);
+        let a = tee(1);
+        for ch in 0..2 {
+            for page in 0..3 {
+                arb.enqueue(ch, a, Ticket::new(1), page, SimTime::ZERO);
+                arb.enqueue(ch, a, Ticket::new(2), page, SimTime::ZERO);
+            }
+        }
+        let g = arb.try_issue(0).unwrap();
+        assert!(arb.ticket_clock(0, a, Ticket::new(1)).is_some());
+        let released = arb.cancel_ticket(Ticket::new(1));
+        assert_eq!(released, vec![0], "in-flight grant released");
+        for ch in 0..2 {
+            assert_eq!(arb.ticket_backlog(ch, a, Ticket::new(1)), 0);
+            assert_eq!(
+                arb.ticket_clock(ch, a, Ticket::new(1)),
+                None,
+                "clock purged"
+            );
+        }
+        assert_eq!(arb.queued(0, a), 3, "survivor's pages untouched");
+        let _ = g;
+        let next = arb.try_issue(0).unwrap();
+        assert_eq!(next.ticket.raw(), 2);
+    }
+
+    /// A drained ticket sub-lane is dropped immediately, so long-lived
+    /// tenants never accumulate dead ticket clocks.
+    #[test]
+    fn drained_ticket_lane_is_dropped() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        arb.enqueue(0, a, Ticket::new(1), 0, SimTime::ZERO);
+        assert!(arb.ticket_clock(0, a, Ticket::new(1)).is_some());
+        let g = arb.try_issue(0).unwrap();
+        arb.release(g.ticket, g.page);
+        assert_eq!(arb.ticket_clock(0, a, Ticket::new(1)), None, "lane dropped");
+        assert_eq!(arb.queued(0, a), 0);
+    }
+
+    /// `forget_tee` under the hierarchical policy drops ticket clocks
+    /// with the lanes, so a recycled TEE id reseeds from scratch.
+    #[test]
+    fn forget_tee_reseeds_ticket_lanes() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        for page in 0..4 {
+            arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+        }
+        let g = arb.try_issue(0).unwrap();
+        arb.release(g.ticket, g.page);
+        assert!(arb.ticket_clock(0, a, Ticket::new(1)).unwrap() > 0);
+        arb.forget_tee(a);
+        assert_eq!(arb.ticket_clock(0, a, Ticket::new(1)), None);
+        assert_eq!(arb.queued(0, a), 0);
+        // The recycled id starts a fresh clock domain.
+        arb.enqueue(0, a, Ticket::new(9), 0, SimTime::ZERO);
+        let g = arb.try_issue(0).unwrap();
+        assert_eq!((g.vstart, g.tstart), (0, 0), "fresh lane, fresh clocks");
+        arb.release(g.ticket, g.page);
+    }
+
+    #[test]
+    #[should_panic(expected = "ticket weights must be in 1..=")]
+    fn zero_ticket_weight_panics() {
+        let mut arb = hier(1);
+        arb.enqueue_weighted(0, tee(1), Ticket::new(1), 0, SimTime::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ticket weights must be in 1..=")]
+    fn over_max_ticket_weight_panics() {
+        let mut arb = hier(1);
+        arb.enqueue_weighted(
+            0,
+            tee(1),
+            Ticket::new(1),
+            0,
+            SimTime::ZERO,
+            MAX_TICKET_WEIGHT + 1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "while the arbiter is idle")]
+    fn policy_flip_with_backlog_panics() {
+        let mut arb = WfqArbiter::new(1);
+        arb.enqueue(0, tee(1), Ticket::new(1), 0, SimTime::ZERO);
+        arb.set_ticket_policy(TicketPolicy::Wfq);
+    }
+
+    /// The grant's ticket-level start tag is reported (and zero under
+    /// Fifo), and the clock advances exactly once per grant.
+    #[test]
+    fn tstart_reported_and_advances_once_per_grant() {
+        let mut arb = hier(1);
+        let a = tee(1);
+        for page in 0..2 {
+            arb.enqueue(0, a, Ticket::new(1), page, SimTime::ZERO);
+            arb.enqueue(0, a, Ticket::new(2), page, SimTime::ZERO);
+        }
+        let g = arb.try_issue(0).unwrap();
+        assert_eq!(g.tstart, 0);
+        let clock = arb.ticket_clock(0, a, g.ticket).unwrap();
+        assert_eq!(clock, QUANTUM_FP, "one quantum per grant at weight 1");
+        // Release without re-issue must not advance the clock again.
+        arb.release(g.ticket, g.page);
+        assert_eq!(arb.ticket_clock(0, a, g.ticket).unwrap(), clock);
+
+        let mut flat = WfqArbiter::new(1);
+        flat.enqueue(0, a, Ticket::new(1), 0, SimTime::ZERO);
+        let g = flat.try_issue(0).unwrap();
+        assert_eq!(g.tstart, 0, "Fifo grants carry a zero ticket tag");
     }
 }
