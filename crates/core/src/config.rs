@@ -161,6 +161,7 @@ impl IceClaveConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

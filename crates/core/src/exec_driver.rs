@@ -33,7 +33,7 @@
 use iceclave_cipher::CipherEngine;
 use iceclave_exec::{Executor, StageEvent, StageMachine};
 use iceclave_ftl::FlashError;
-use iceclave_ftl::{FtlError, Requestor, SchedPolicy, WfqArbiter};
+use iceclave_ftl::{FtlError, JournalRecord, Requestor, SchedPolicy, WfqArbiter};
 use iceclave_isc::SsdPlatform;
 use iceclave_mee::{MeeEngine, MetaTraffic, PageClass, PageSeal, SealSpan};
 use iceclave_sim::Pipeline;
@@ -139,6 +139,12 @@ pub struct Job {
 }
 
 impl Job {
+    /// Pages that have not pushed a completion yet — what a power cut
+    /// destroys (the durability contract never covered them).
+    pub(crate) fn unretired_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| !p.retired).count() as u64
+    }
+
     /// A minimal zero-page job for the slab unit tests.
     #[cfg(test)]
     pub(crate) fn stub(tee: TeeId, kind: TicketKind, submitted: SimTime) -> Self {
@@ -420,6 +426,14 @@ impl StageCtx<'_> {
                         .cipher
                         .encrypt_page_in_place(page.lpn.raw() as u32, &mut plaintext);
                     self.page_ivs.insert(page.lpn.raw(), iv);
+                    // The stored ciphertext is unreadable without its
+                    // IV: seal it alongside the mapping records
+                    // `Ftl::write_batch` already journaled.
+                    self.platform.ftl.journal_append(JournalRecord::IvSeal {
+                        lpn: page.lpn.raw(),
+                        iv_base: iv.base(),
+                        iv_ppa: iv.ppa(),
+                    });
                 }
                 self.platform
                     .ftl
@@ -427,8 +441,41 @@ impl StageCtx<'_> {
                     .write_data(out.ppn, &plaintext);
             }
         }
+        // Acked ⇒ durable: before any page of this batch may push a
+        // completion, its mapping updates, IV seals and a fresh
+        // counter-epoch seal must be journal-synced to flash. The sync
+        // end time floors every page's durable time, so a drained
+        // (acknowledged) write is always replayable after a crash.
+        let mut durable_floor = SimTime::ZERO;
+        if self.platform.ftl.journal_enabled() {
+            let epoch = self.mee.advance_counter_epoch();
+            self.platform
+                .ftl
+                .journal_append(JournalRecord::EpochSeal { epoch });
+            match self.platform.ftl.journal_sync(outcome.finished) {
+                Ok(end) => durable_floor = end,
+                Err(e) => {
+                    // The journal region is full (or unwritable): the
+                    // batch's durability cannot be guaranteed, so the
+                    // ticket fails rather than ack an unreplayable
+                    // write.
+                    let pages = job.pages.len() as u32;
+                    for page in 0..pages {
+                        self.fail_page(
+                            exec,
+                            ev.ticket,
+                            page,
+                            ev.at,
+                            e.clone().into(),
+                            PageErrorCause::ProgramFailed,
+                        );
+                    }
+                    return;
+                }
+            }
+        }
         self.stats.pages_stored += job.pages.len() as u64;
-        exec.note_finished(ev.ticket, outcome.finished);
+        exec.note_finished(ev.ticket, outcome.finished.max(durable_floor));
 
         // Fairness accounting: `Ftl::write_batch` booked the channel
         // programs itself, so debit each written page against the
@@ -464,7 +511,11 @@ impl StageCtx<'_> {
         // drained; the metadata work overlapped the channel programs.
         let mut closed = false;
         for (index, (page, out)) in job.pages.iter_mut().zip(&outcome.pages).enumerate() {
-            let durable = out.flash.end.max(job.sealed[index].sealed);
+            let durable = out
+                .flash
+                .end
+                .max(job.sealed[index].sealed)
+                .max(durable_floor);
             page.ppn = out.ppn;
             page.breakdown.flash_done = out.flash.end;
             page.breakdown.ready = durable;
@@ -848,6 +899,7 @@ impl IceClave {
         ticket_weight: u32,
         now: SimTime,
     ) -> Result<Ticket, IceClaveError> {
+        self.ensure_powered()?;
         self.ensure_running(tee)?;
         if lpns.is_empty() {
             return Ok(self.exec.open_ticket(TicketKind::Read, 0, now));
@@ -1056,6 +1108,7 @@ impl IceClave {
         writes: Vec<PageWrite>,
         now: SimTime,
     ) -> Result<Ticket, IceClaveError> {
+        self.ensure_powered()?;
         self.ensure_running(tee)?;
         if writes.is_empty() {
             return Ok(self.exec.open_ticket(TicketKind::Write, 0, now));
@@ -1200,6 +1253,11 @@ impl IceClave {
     pub fn poll_completions(&mut self, now: SimTime) -> Vec<CompletionEvent> {
         self.sweep_stale_errors();
         self.drive(|exec, ctx| exec.run_until(ctx, now));
+        if self.exec.power_lost() {
+            // The completion queue lives in controller DRAM: whatever
+            // was queued but undrained at the cut is gone with it.
+            return Vec::new();
+        }
         self.exec.poll(now)
     }
 
@@ -1209,6 +1267,11 @@ impl IceClave {
     pub fn drain_completions(&mut self) -> Vec<CompletionEvent> {
         self.sweep_stale_errors();
         self.drive(|exec, ctx| exec.run_to_idle(ctx));
+        if self.exec.power_lost() {
+            // The completion queue lives in controller DRAM: whatever
+            // was queued but undrained at the cut is gone with it.
+            return Vec::new();
+        }
         self.exec.drain_all()
     }
 
@@ -1307,6 +1370,7 @@ impl IceClave {
         &mut self,
         ticket: Ticket,
     ) -> Result<(SimTime, SimTime, Vec<CompletionEvent>), IceClaveError> {
+        self.ensure_powered()?;
         let Some(issued) = self.exec.issued_at(ticket) else {
             return Err(self
                 .failed
@@ -1321,6 +1385,11 @@ impl IceClave {
             return Err(IceClaveError::UnknownTicket(ticket));
         }
         self.drive(|exec, ctx| exec.run_ticket(ctx, ticket));
+        if self.exec.power_lost() {
+            // The cut landed mid-drain: the ticket never closed and
+            // its partial completions died with the controller DRAM.
+            return Err(IceClaveError::PowerLost);
+        }
         let finished = self.exec.finished_at(ticket).unwrap_or(issued);
         let mut events = self.exec.take_ticket_completions(ticket);
         if let Some(error) = self.failed.remove(ticket.raw()) {

@@ -187,6 +187,7 @@ impl HostLibrary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::IceClaveConfig;

@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(clippy::unwrap_used)]
 
 pub mod config;
 pub mod exec_driver;
@@ -61,5 +62,7 @@ pub mod trace;
 pub use config::{FairnessConfig, IceClaveConfig};
 pub use exec_driver::{Stage, READ_RETRY_LIMIT, READ_RETRY_STEP_US};
 pub use host::{HostLibrary, OffloadResult, OffloadTicket};
-pub use iceclave_ftl::{SchedPolicy, TicketPolicy, MAX_TICKET_WEIGHT};
+pub use iceclave_exec::{PowerLossInjector, PowerLossPlan};
+pub use iceclave_ftl::{JournalRecord, SchedPolicy, TicketPolicy, MAX_TICKET_WEIGHT};
+pub use iceclave_types::RecoveryStats;
 pub use runtime::{AbortReason, IceClave, IceClaveError, RuntimeStats, TeeStatus};

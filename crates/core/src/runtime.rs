@@ -5,16 +5,17 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use iceclave_cipher::CipherEngine;
+use iceclave_cipher::{CipherEngine, PageIv};
 use iceclave_cpu::OpCounts;
-use iceclave_ftl::{FaultPlan, FtlError, Requestor};
+use iceclave_exec::PowerLossPlan;
+use iceclave_ftl::{FaultPlan, FtlError, JournalRecord, Requestor};
 use iceclave_isc::SsdPlatform;
 use iceclave_mee::{MacFaultPlan, MeeEngine, PageClass};
 use iceclave_sim::Pipeline;
 use iceclave_trustzone::{AccessType, MemoryMap, ProtectionFault, Region, World};
 use iceclave_types::{
-    BatchCompletion, ByteSize, CacheLine, Lpn, PageWrite, Ppn, SimTime, TeeId, TicketAttribution,
-    WriteBatchCompletion, LINES_PER_PAGE, PAGE_SIZE,
+    BatchCompletion, ByteSize, CacheLine, Lpn, PageWrite, Ppn, RecoveryStats, SimTime, TeeId,
+    TicketAttribution, WriteBatchCompletion, LINES_PER_PAGE, PAGE_SIZE,
 };
 
 use crate::config::IceClaveConfig;
@@ -98,6 +99,16 @@ pub enum IceClaveError {
         /// The flash channel whose queue would exceed the budget.
         channel: u32,
     },
+    /// Power was cut (see [`IceClave::install_power_loss_plan`]): every
+    /// volatile byte on the controller is gone and no API call can make
+    /// progress until the device is rebooted through
+    /// [`IceClave::recover`].
+    PowerLost,
+    /// [`IceClave::recover`] was called on a device configured without
+    /// a metadata-journal region
+    /// (`FtlConfig::journal_blocks == 0`): there is no durable
+    /// metadata to replay, so a reboot cannot restore any mapping.
+    NoJournal,
 }
 
 impl fmt::Display for IceClaveError {
@@ -123,6 +134,12 @@ impl fmt::Display for IceClaveError {
             }
             IceClaveError::ChannelBudgetExceeded { tee, channel } => {
                 write!(f, "{tee} exceeded its queue budget on channel {channel}")
+            }
+            IceClaveError::PowerLost => {
+                f.write_str("power was cut; reboot the device through recover()")
+            }
+            IceClaveError::NoJournal => {
+                f.write_str("the device has no metadata-journal region to recover from")
             }
         }
     }
@@ -267,31 +284,9 @@ impl IceClave {
             )
             .expect("protected region fits");
 
-        // TEE ids 1..16 (0 is reserved as unowned), recycled LIFO.
-        let mut free_ids: Vec<TeeId> = (1..16u16)
-            .rev()
-            .map(|raw| TeeId::new(raw).expect("raw < 16"))
-            .collect();
-        free_ids.shrink_to_fit();
-
-        let region_base_page = (config.secure_region.as_bytes()
-            + config.platform.ftl.cmt_capacity.as_bytes())
-            / PAGE_SIZE;
-        let region_pages = config.tee_region.as_bytes() / PAGE_SIZE;
-        let free_regions: Vec<u64> = (0..config.region_slots())
-            .rev()
-            .map(|slot| region_base_page + slot * region_pages)
-            .collect();
-
-        let mut arbiter =
-            iceclave_ftl::WfqArbiter::new(config.platform.flash.geometry.channels as usize);
-        arbiter.set_default_weight(config.fairness.default_weight);
-        arbiter.set_ticket_policy(config.fairness.ticket_policy);
-        arbiter.set_mee_line_cost(config.fairness.mee_line_cost);
-        for &(raw, weight) in &config.fairness.weights {
-            let tee = TeeId::new(raw).expect("fairness weight names a valid TEE id (1..=15)");
-            arbiter.set_weight(tee, weight);
-        }
+        let free_ids = Self::build_free_ids();
+        let free_regions = Self::build_free_regions(&config);
+        let arbiter = Self::build_arbiter(&config);
 
         IceClave {
             platform,
@@ -385,6 +380,119 @@ impl IceClave {
         self.mee.install_mac_fault_plan(plan);
     }
 
+    /// Arms a power-loss cut point (see
+    /// [`iceclave_exec::PowerLossPlan`]): the executor halts dead at
+    /// the scripted event index, after which every API call fails with
+    /// [`IceClaveError::PowerLost`] until the device is rebooted
+    /// through [`IceClave::recover`]. An empty plan only counts events
+    /// and is event-for-event invisible.
+    pub fn install_power_loss_plan(&mut self, plan: PowerLossPlan) {
+        self.exec.set_power_plan(plan);
+    }
+
+    /// True once an armed power-loss plan has tripped: the device is
+    /// dead until [`IceClave::recover`] reboots it.
+    pub fn power_lost(&self) -> bool {
+        self.exec.power_lost()
+    }
+
+    /// Executor events processed since a power-loss plan (possibly an
+    /// empty one) was installed — the event horizon a crash sweep
+    /// samples its cut points from. `None` when no plan is installed.
+    pub fn events_processed(&self) -> Option<u64> {
+        self.exec.events_processed()
+    }
+
+    /// The MEE's current counter epoch: advanced and journal-sealed on
+    /// every durable write batch, restored (never regressed) by
+    /// [`IceClave::recover`].
+    pub fn counter_epoch(&self) -> u64 {
+        self.mee.counter_epoch()
+    }
+
+    /// Clean shutdown: flushes the cached mapping table, seals the
+    /// current counter epoch under a clean-shutdown journal record and
+    /// syncs the journal, so the next [`IceClave::recover`] takes the
+    /// fast path (`clean_boot`, no dirty replay semantics to distrust).
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::PowerLost`] on a dead device; FTL errors if the
+    /// flush or journal sync fails.
+    pub fn shutdown(&mut self, now: SimTime) -> Result<SimTime, IceClaveError> {
+        self.ensure_powered()?;
+        let t = self.platform.ftl.flush_cmt(now)?;
+        self.platform
+            .ftl
+            .journal_append(JournalRecord::CleanShutdown {
+                epoch: self.mee.counter_epoch(),
+            });
+        let t = self.platform.ftl.journal_sync(t)?;
+        Ok(t)
+    }
+
+    /// Reboot after a crash (or a clean shutdown): replays the metadata
+    /// journal through the real flash read path, rebuilds the mapping
+    /// and grown-bad tables and the per-LPN IV store, restores the MEE
+    /// counter epoch to the highest sealed value, and discards every
+    /// volatile structure — TEE sessions, in-flight tickets, CMT, WFQ
+    /// lanes, undrained completions. Flash-durable bytes are all that
+    /// survives; acknowledged writes are readable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`IceClaveError::NoJournal`] when the device was configured
+    /// without a journal region; [`IceClaveError::Integrity`] (with
+    /// [`TeeId::UNOWNED`]) when the journal's epoch seals regress —
+    /// the rollback-attack signature; FTL errors if the journal region
+    /// itself is unreadable.
+    pub fn recover(&mut self, now: SimTime) -> Result<RecoveryStats, IceClaveError> {
+        if !self.platform.ftl.journal_enabled() {
+            return Err(IceClaveError::NoJournal);
+        }
+        // In-flight pages that never pushed a completion died with the
+        // rail; count them before the job table is discarded.
+        let pages_lost: u64 = self.jobs.iter().map(|(_, job)| job.unretired_pages()).sum();
+        let recovery = self.platform.ftl.recover(now)?;
+        if recovery.epoch_regressed {
+            // A sealed epoch ran backwards: someone replayed a stale
+            // journal image over a newer device. Refuse to boot.
+            return Err(IceClaveError::Integrity {
+                tee: TeeId::UNOWNED,
+            });
+        }
+
+        // Everything volatile is rebuilt from scratch; only the flash
+        // array (recovered above), the DRAM/monitor timing models and
+        // the cumulative controller counters carry over.
+        self.mee = MeeEngine::new(self.config.mee);
+        self.mee.restore_counter_epoch(recovery.max_epoch);
+        self.page_ivs = crate::slab::IvTable::new();
+        for &(lpn, base, ppa) in &recovery.ivs {
+            self.page_ivs.insert(lpn, PageIv::compose(base, ppa));
+        }
+        self.cipher_lanes = (0..self.config.platform.flash.geometry.channels)
+            .map(|i| Pipeline::new(format!("cipher-engine{i}")))
+            .collect();
+        self.tees.clear();
+        self.free_ids = Self::build_free_ids();
+        self.used_ids = vec![false; 16];
+        self.free_regions = Self::build_free_regions(&self.config);
+        self.arbiter = Self::build_arbiter(&self.config);
+        self.exec = iceclave_exec::Executor::new();
+        self.jobs = crate::slab::JobTable::new();
+        self.failed = crate::slab::ErrorSlab::new();
+
+        Ok(RecoveryStats {
+            clean_boot: recovery.clean_shutdown,
+            records_replayed: recovery.records_replayed,
+            torn_records: recovery.torn_records,
+            pages_read: recovery.pages_read,
+            pages_lost,
+            recovery_time: recovery.end_time.saturating_since(now),
+        })
+    }
+
     /// The TZASC memory map (Figure 4).
     pub fn memory_map(&self) -> &MemoryMap {
         &self.memory_map
@@ -406,7 +514,12 @@ impl IceClave {
         pages: u64,
         now: SimTime,
     ) -> Result<SimTime, IceClaveError> {
-        Ok(self.platform.populate(base, pages, now)?)
+        self.ensure_powered()?;
+        let t = self.platform.populate(base, pages, now)?;
+        // Host staging is acknowledged synchronously, so its mapping
+        // records must be durable before the call returns.
+        let t = self.platform.ftl.journal_sync(t)?;
+        Ok(t)
     }
 
     /// `OffloadCode` (Table 2): creates a TEE for a binary of
@@ -424,6 +537,7 @@ impl IceClave {
         lpns: &[Lpn],
         now: SimTime,
     ) -> Result<(TeeId, SimTime), IceClaveError> {
+        self.ensure_powered()?;
         let requested = ByteSize::from_bytes(code_bytes);
         if requested.as_bytes() > self.config.max_code_size.as_bytes()
             || requested.as_bytes() > self.config.tee_region.as_bytes()
@@ -703,6 +817,7 @@ impl IceClave {
         plaintext: &[u8],
         now: SimTime,
     ) -> Result<(), IceClaveError> {
+        self.ensure_powered()?;
         let translation =
             self.platform
                 .ftl
@@ -714,12 +829,21 @@ impl IceClave {
                 .flash_mut()
                 .write_data(translation.ppn, &ciphertext);
             self.page_ivs.insert(lpn.raw(), iv);
+            // The IV is metadata the stored bytes are useless without;
+            // journal it with the same synchronous durability as the
+            // staging itself.
+            self.platform.ftl.journal_append(JournalRecord::IvSeal {
+                lpn: lpn.raw(),
+                iv_base: iv.base(),
+                iv_ppa: iv.ppa(),
+            });
         } else {
             self.platform
                 .ftl
                 .flash_mut()
                 .write_data(translation.ppn, plaintext);
         }
+        self.platform.ftl.journal_sync(now)?;
         Ok(())
     }
 
@@ -906,6 +1030,50 @@ impl IceClave {
 
     // ---- internals ---------------------------------------------------
 
+    /// TEE ids 1..16 (0 is reserved as unowned), recycled LIFO.
+    fn build_free_ids() -> Vec<TeeId> {
+        let mut free_ids: Vec<TeeId> = (1..16u16)
+            .rev()
+            .map(|raw| TeeId::new(raw).expect("raw < 16"))
+            .collect();
+        free_ids.shrink_to_fit();
+        free_ids
+    }
+
+    fn build_free_regions(config: &IceClaveConfig) -> Vec<u64> {
+        let region_base_page = (config.secure_region.as_bytes()
+            + config.platform.ftl.cmt_capacity.as_bytes())
+            / PAGE_SIZE;
+        let region_pages = config.tee_region.as_bytes() / PAGE_SIZE;
+        (0..config.region_slots())
+            .rev()
+            .map(|slot| region_base_page + slot * region_pages)
+            .collect()
+    }
+
+    fn build_arbiter(config: &IceClaveConfig) -> iceclave_ftl::WfqArbiter {
+        let mut arbiter =
+            iceclave_ftl::WfqArbiter::new(config.platform.flash.geometry.channels as usize);
+        arbiter.set_default_weight(config.fairness.default_weight);
+        arbiter.set_ticket_policy(config.fairness.ticket_policy);
+        arbiter.set_mee_line_cost(config.fairness.mee_line_cost);
+        for &(raw, weight) in &config.fairness.weights {
+            let tee = TeeId::new(raw).expect("fairness weight names a valid TEE id (1..=15)");
+            arbiter.set_weight(tee, weight);
+        }
+        arbiter
+    }
+
+    /// Every externally visible operation checks this first: a tripped
+    /// power-loss injector means the controller is off — nothing can
+    /// be submitted, drained or stored until [`IceClave::recover`].
+    pub(crate) fn ensure_powered(&self) -> Result<(), IceClaveError> {
+        if self.exec.power_lost() {
+            return Err(IceClaveError::PowerLost);
+        }
+        Ok(())
+    }
+
     pub(crate) fn ensure_running(&self, tee: TeeId) -> Result<(), IceClaveError> {
         match self.tees.get(&tee.raw()) {
             Some(state) if state.status == TeeStatus::Running => Ok(()),
@@ -978,6 +1146,7 @@ impl IceClave {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -144,6 +144,7 @@ impl ErrorSlab {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iceclave_types::{SimTime, TeeId, TicketKind};

@@ -7,6 +7,7 @@ use iceclave_sim::{EventClock, KeyedEventQueue};
 use iceclave_types::{CompletionEvent, FaultStats, SimTime, Ticket, TicketAttribution, TicketKind};
 
 use crate::completion::{CompletionQueue, RetireObserver};
+use crate::power::{PowerLossInjector, PowerLossPlan};
 
 /// One due stage event handed to the [`StageMachine`].
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -143,6 +144,7 @@ pub struct Executor<S> {
     completions: CompletionQueue,
     next_ticket: u64,
     tickets: TicketTable,
+    power: Option<PowerLossInjector>,
 }
 
 impl<S> Executor<S> {
@@ -154,6 +156,41 @@ impl<S> Executor<S> {
             completions: CompletionQueue::new(),
             next_ticket: 1,
             tickets: TicketTable::new(1),
+            power: None,
+        }
+    }
+
+    /// Arms a [`PowerLossPlan`] (replacing any previous injector): the
+    /// run loops consult it before every event and halt dead once it
+    /// trips. An armed [`PowerLossPlan::none`] only counts events and
+    /// is event-for-event invisible.
+    pub fn set_power_plan(&mut self, plan: PowerLossPlan) {
+        self.power = Some(PowerLossInjector::new(plan));
+    }
+
+    /// True once an armed power-loss plan has tripped: no further
+    /// stage event will ever run on this executor.
+    pub fn power_lost(&self) -> bool {
+        self.power.as_ref().is_some_and(PowerLossInjector::tripped)
+    }
+
+    /// Stage events processed since a power plan was armed (`None`
+    /// when no injector is installed).
+    pub fn events_processed(&self) -> Option<u64> {
+        self.power.as_ref().map(PowerLossInjector::events_processed)
+    }
+
+    /// True when the armed injector says the next event must not run.
+    fn power_cut(&mut self) -> bool {
+        self.power
+            .as_mut()
+            .is_some_and(PowerLossInjector::check_cut)
+    }
+
+    /// Counts one popped event against the armed injector.
+    fn power_note_event(&mut self) {
+        if let Some(p) = self.power.as_mut() {
+            p.note_event();
         }
     }
 
@@ -343,12 +380,18 @@ impl<S> Executor<S> {
         self.clock.now()
     }
 
-    /// Processes every stage event due at or before `now`.
+    /// Processes every stage event due at or before `now`. Stops dead
+    /// (leaving pending events on the heap) if an armed power plan
+    /// trips.
     pub fn run_until<M>(&mut self, machine: &mut M, now: SimTime)
     where
         M: StageMachine<Stage = S>,
     {
-        while let Some((at, _, (ticket, page, stage))) = self.events.pop_due(now) {
+        while !self.power_cut() {
+            let Some((at, _, (ticket, page, stage))) = self.events.pop_due(now) else {
+                break;
+            };
+            self.power_note_event();
             self.clock.advance_to(at);
             machine.advance(
                 StageEvent {
@@ -365,15 +408,21 @@ impl<S> Executor<S> {
     /// Processes stage events (in global time order) until `ticket`
     /// closes — the drain half of the blocking wrappers. Events of
     /// other in-flight tickets that are due earlier run on the way.
+    /// Stops dead (the ticket never closes) if an armed power plan
+    /// trips.
     pub fn run_ticket<M>(&mut self, machine: &mut M, ticket: Ticket)
     where
         M: StageMachine<Stage = S>,
     {
         while !self.is_closed(ticket) {
+            if self.power_cut() {
+                break;
+            }
             let Some((at, _, (t, page, stage))) = self.events.pop() else {
                 debug_assert!(false, "{ticket} can never close: event heap ran dry");
                 break;
             };
+            self.power_note_event();
             self.clock.advance_to(at);
             machine.advance(
                 StageEvent {
@@ -387,12 +436,17 @@ impl<S> Executor<S> {
         }
     }
 
-    /// Processes every pending stage event regardless of time.
+    /// Processes every pending stage event regardless of time. Stops
+    /// dead if an armed power plan trips.
     pub fn run_to_idle<M>(&mut self, machine: &mut M)
     where
         M: StageMachine<Stage = S>,
     {
-        while let Some((at, _, (ticket, page, stage))) = self.events.pop() {
+        while !self.power_cut() {
+            let Some((at, _, (ticket, page, stage))) = self.events.pop() else {
+                break;
+            };
+            self.power_note_event();
             self.clock.advance_to(at);
             machine.advance(
                 StageEvent {

@@ -16,8 +16,8 @@ use iceclave_isc::SsdPlatform;
 use iceclave_mee::{CounterMode, MeeConfig, MeeEngine, PageClass};
 use iceclave_sim::{Resource, ResourcePool, SimRng};
 use iceclave_types::{
-    ByteSize, CacheLine, FaultStats, Lpn, SimDuration, SimTime, TeeId, TicketAttribution,
-    LINES_PER_PAGE, PAGE_SIZE,
+    ByteSize, CacheLine, FaultStats, Lpn, RecoveryStats, SimDuration, SimTime, TeeId,
+    TicketAttribution, LINES_PER_PAGE, PAGE_SIZE,
 };
 use iceclave_workloads::{Batch, Workload, WorkloadConfig, WorkloadKind, WorkloadOutput};
 
@@ -72,6 +72,11 @@ pub struct RunResult {
     pub ticket_meta: TicketAttribution,
     /// Energy breakdown of the run (derived from activity counters).
     pub energy: crate::energy::EnergyBreakdown,
+    /// Crash-recovery accounting, when the run rebooted the device
+    /// through `IceClave::recover` (`None` for the standard
+    /// experiments, which never lose power; see
+    /// `tests/crash_recovery.rs` and the `crash_recovery` bench).
+    pub recovery: Option<RecoveryStats>,
     /// The workload's computed answer (identical across modes).
     pub output: WorkloadOutput,
 }
@@ -525,6 +530,7 @@ fn run_ssd_with(
         energy,
         faults,
         ticket_meta: rt_stats.ticket_meta,
+        recovery: None,
         output,
     })
 }
@@ -786,6 +792,7 @@ fn run_host(
         energy,
         faults: FaultStats::default(),
         ticket_meta: TicketAttribution::default(),
+        recovery: None,
         output,
     }
 }

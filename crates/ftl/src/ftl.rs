@@ -5,7 +5,10 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use iceclave_flash::{BlockAddr, FaultInjector, FaultPlan, FlashArray, FlashConfig, FlashError};
+use iceclave_flash::{
+    BlockAddr, FaultInjector, FaultPlan, FlashArray, FlashConfig, FlashError, JournalRecord,
+    MetadataJournal, ReplaySummary,
+};
 use iceclave_sim::ServiceSpan;
 use iceclave_trustzone::{World, WorldMonitor};
 use iceclave_types::{
@@ -51,6 +54,13 @@ pub struct FtlConfig {
     pub gc_policy: GcPolicy,
     /// Erase-count spread that triggers static wear leveling.
     pub wear_delta_threshold: u32,
+    /// Flash blocks reserved for the write-ahead metadata journal,
+    /// spread across planes from the top of each plane's block range.
+    /// `0` (the default) disables journaling entirely: no blocks are
+    /// reserved, no journal traffic is generated, and the device is
+    /// byte-identical to a journal-less build. Crash recovery requires
+    /// a non-zero value.
+    pub journal_blocks: u32,
 }
 
 impl Default for FtlConfig {
@@ -63,6 +73,7 @@ impl Default for FtlConfig {
             gc_free_block_threshold: 2,
             gc_policy: GcPolicy::Greedy,
             wear_delta_threshold: 16,
+            journal_blocks: 0,
         }
     }
 }
@@ -127,6 +138,36 @@ pub struct WriteBatchOutcome {
     pub finished: SimTime,
 }
 
+/// What [`Ftl::recover`] rebuilt from the metadata journal.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct FtlRecovery {
+    /// Journal records that replayed cleanly.
+    pub records_replayed: u64,
+    /// Records discarded as the torn tail (checksum or sequence
+    /// rejection).
+    pub torn_records: u64,
+    /// Journal pages read during replay.
+    pub pages_read: u64,
+    /// True when the journal ends in a clean-shutdown seal: the crash
+    /// lost nothing (the previous boot flushed everything and said
+    /// goodbye).
+    pub clean_shutdown: bool,
+    /// The highest counter epoch sealed in the journal.
+    pub max_epoch: u64,
+    /// True when a sealed epoch *regressed* in journal order — the
+    /// signature of a rolled-back journal image. The caller must
+    /// treat the device as compromised.
+    pub epoch_regressed: bool,
+    /// Logical pages whose mappings were rebuilt.
+    pub mapped_pages: u64,
+    /// The sealed cipher IVs `(lpn, iv_base, iv_ppa)` (last seal per
+    /// page), sorted by LPN. The runtime layer rebuilds its IV table
+    /// from these.
+    pub ivs: Vec<(u64, u64, u32)>,
+    /// When the journal replay's last flash read completed.
+    pub end_time: SimTime,
+}
+
 /// FTL-level errors.
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub enum FtlError {
@@ -145,6 +186,9 @@ pub enum FtlError {
     Unmapped(Lpn),
     /// No free blocks remain even after garbage collection.
     CapacityExhausted,
+    /// The reserved metadata-journal region is full: no further
+    /// metadata mutation can be made durable.
+    JournalExhausted,
 }
 
 impl fmt::Display for FtlError {
@@ -156,6 +200,7 @@ impl fmt::Display for FtlError {
             }
             FtlError::Unmapped(lpn) => write!(f, "{lpn} is unmapped"),
             FtlError::CapacityExhausted => f.write_str("no free flash blocks remain"),
+            FtlError::JournalExhausted => f.write_str("the metadata-journal region is full"),
         }
     }
 }
@@ -349,15 +394,27 @@ pub struct Ftl {
     /// permanently retired from allocation — factory born-bad blocks
     /// plus blocks whose program or erase reported status FAIL.
     grown_bad: FastSet<u64>,
+    /// Flat block indexes reserved for the metadata journal — excluded
+    /// from allocation but *not* grown-bad (they are healthy blocks in
+    /// controller service). Tracked separately so
+    /// [`Ftl::grown_bad_blocks`] reports only real retirements.
+    journal_reserved: FastSet<u64>,
+    /// The write-ahead metadata journal (`None` when
+    /// [`FtlConfig::journal_blocks`] is zero).
+    journal: Option<MetadataJournal>,
     stats: FtlStats,
 }
 
 impl Ftl {
-    /// Creates an FTL over a fresh flash array.
+    /// Creates an FTL over a fresh flash array. When
+    /// [`FtlConfig::journal_blocks`] is non-zero, that many blocks are
+    /// reserved for the metadata journal (spread across planes from
+    /// the top of each plane's block range) and withdrawn from
+    /// allocation.
     pub fn new(flash_config: FlashConfig, config: FtlConfig) -> Self {
         let flash = FlashArray::new(flash_config);
         let planes = vec![PlaneState::default(); flash_config.geometry.total_planes() as usize];
-        Ftl {
+        let mut ftl = Ftl {
             config,
             flash,
             mapping: MappingTable::new(),
@@ -370,8 +427,258 @@ impl Ftl {
             channel_cursors: vec![0; flash_config.geometry.channels as usize],
             last_secure_granule: None,
             grown_bad: FastSet::default(),
+            journal_reserved: FastSet::default(),
+            journal: None,
             stats: FtlStats::default(),
+        };
+        ftl.reserve_journal_region();
+        ftl
+    }
+
+    /// The reserved journal block addresses, in append order: block
+    /// `i` lands in plane `i % planes` at block
+    /// `blocks_per_plane - 1 - i / planes`, so the reservation spreads
+    /// the journal's program traffic over every plane (flat block
+    /// indexes are plane-major — taking the last N flat indexes would
+    /// pile the whole journal onto the last plane).
+    fn journal_block_addrs(&self) -> Vec<BlockAddr> {
+        let g = self.flash.config().geometry;
+        let planes = self.planes.len() as u32;
+        assert!(
+            self.config.journal_blocks / planes < g.blocks_per_plane,
+            "journal_blocks exceeds the device's block budget"
+        );
+        (0..self.config.journal_blocks)
+            .map(|i| {
+                let plane_idx = (i % planes) as usize;
+                let block = g.blocks_per_plane - 1 - i / planes;
+                self.plane_block_addr(plane_idx, block)
+            })
+            .collect()
+    }
+
+    /// Reserves the journal region and constructs the journal.
+    fn reserve_journal_region(&mut self) {
+        if self.config.journal_blocks == 0 {
+            return;
         }
+        let g = self.flash.config().geometry;
+        let blocks = self.journal_block_addrs();
+        for &addr in &blocks {
+            self.journal_reserved.insert(g.block_index(addr));
+            // Reserved blocks sit in the fresh range; count them out of
+            // the free-block accounting exactly like retired blocks.
+            let plane_idx = self.plane_index_of(addr);
+            self.planes[plane_idx].retired_fresh += 1;
+        }
+        self.journal = Some(MetadataJournal::new(blocks, &self.flash));
+    }
+
+    /// True when a metadata journal is configured.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The metadata journal, if configured (replay/traffic statistics).
+    pub fn journal(&self) -> Option<&MetadataJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Buffers `record` in the metadata journal (no-op when journaling
+    /// is disabled). Used by the runtime layer for record kinds the
+    /// FTL does not own (cipher IV seals, MEE epoch seals, the
+    /// clean-shutdown seal); the FTL appends its own mapping,
+    /// translation-persist and retirement records internally.
+    pub fn journal_append(&mut self, record: JournalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(record);
+        }
+    }
+
+    /// Makes every buffered journal record durable (no-op returning
+    /// `now` when journaling is disabled). Callers sync at durability
+    /// points: an acknowledged write batch, a CMT flush, shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::JournalExhausted`] when the reserved region is
+    /// full, or [`FtlError::Flash`] for addressing errors.
+    pub fn journal_sync(&mut self, now: SimTime) -> Result<SimTime, FtlError> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(now);
+        };
+        journal.sync(&mut self.flash, now).map_err(|e| match e {
+            FlashError::ProgramFailed(_) => FtlError::JournalExhausted,
+            other => FtlError::Flash(other),
+        })
+    }
+
+    /// Reboots the FTL after a power loss: discards **every** volatile
+    /// table (mapping, CMT, block/validity bookkeeping, grown-bad
+    /// table, allocation cursors), replays the metadata journal from
+    /// flash, and rebuilds the device state the journal proves —
+    /// last-wins per logical page, retirements re-applied, allocation
+    /// lists re-derived from the physical program frontiers.
+    ///
+    /// Only flash-durable bytes survive into the rebuilt state; the
+    /// CMT comes back cold. A device without a journal
+    /// ([`FtlConfig::journal_blocks`] zero) rebuilds *empty* — no
+    /// metadata was ever durable.
+    ///
+    /// The returned [`FtlRecovery`] carries the replay summary,
+    /// including the highest sealed counter epoch and whether any seal
+    /// regressed; the caller decides what a regression means (the
+    /// runtime layer aborts with an integrity error).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::Flash`] on journal addressing errors (an internal
+    /// invariant violation).
+    pub fn recover(&mut self, now: SimTime) -> Result<FtlRecovery, FtlError> {
+        let g = self.flash.config().geometry;
+        // Phase 1: replay the journal through the real read path.
+        let (records, summary) = match self.journal.as_mut() {
+            Some(j) => j.replay(&mut self.flash, now).map_err(FtlError::Flash)?,
+            None => (
+                Vec::new(),
+                ReplaySummary {
+                    end_time: now,
+                    ..ReplaySummary::default()
+                },
+            ),
+        };
+
+        // Phase 2: fold the record stream into final tables
+        // (last-wins per key, in journal order).
+        let mut map: FastMap<u64, u64> = FastMap::default();
+        let mut trans: FastMap<u64, u64> = FastMap::default();
+        let mut retired: FastSet<u64> = FastSet::default();
+        let mut ivs: FastMap<u64, (u64, u32)> = FastMap::default();
+        let mut max_epoch = 0u64;
+        let mut epoch_regressed = false;
+        for record in &records {
+            match *record {
+                JournalRecord::MapUpdate { lpn, ppn } => {
+                    map.insert(lpn, ppn);
+                }
+                JournalRecord::MapRemove { lpn } => {
+                    map.remove(&lpn);
+                }
+                JournalRecord::TransPersist { tvpn, ppn } => {
+                    trans.insert(tvpn, ppn);
+                }
+                JournalRecord::Retire { block } => {
+                    retired.insert(block);
+                }
+                JournalRecord::IvSeal {
+                    lpn,
+                    iv_base,
+                    iv_ppa,
+                } => {
+                    ivs.insert(lpn, (iv_base, iv_ppa));
+                }
+                JournalRecord::EpochSeal { epoch } | JournalRecord::CleanShutdown { epoch } => {
+                    if epoch < max_epoch {
+                        epoch_regressed = true;
+                    }
+                    max_epoch = max_epoch.max(epoch);
+                }
+            }
+        }
+
+        // Phase 3: discard every volatile table. (Cumulative lifetime
+        // stats survive — they model controller wear counters, which
+        // real devices keep in their own durable store.)
+        self.mapping = MappingTable::new();
+        self.cmt = CachedMappingTable::new(self.config.cmt_capacity);
+        self.blocks = DenseSlab::new();
+        self.contents = FastMap::default();
+        self.translation_ppns = DenseSlab::new();
+        self.plane_cursor = 0;
+        self.channel_cursors = vec![0; g.channels as usize];
+        self.last_secure_granule = None;
+        self.grown_bad = retired;
+
+        // Phase 4: re-derive plane allocation state from the physical
+        // program frontiers. Every block is classified explicitly, so
+        // the fresh-cursor machinery is bypassed (`next_fresh` at the
+        // end of the range, `retired_fresh` zero).
+        for plane_idx in 0..self.planes.len() {
+            self.planes[plane_idx] = PlaneState {
+                next_fresh: g.blocks_per_plane,
+                ..PlaneState::default()
+            };
+            for b in 0..g.blocks_per_plane {
+                let addr = self.plane_block_addr(plane_idx, b);
+                let flat = g.block_index(addr);
+                if self.journal_reserved.contains(&flat) {
+                    continue;
+                }
+                let frontier = self.flash.frontier(addr);
+                let plane = &mut self.planes[plane_idx];
+                if self.grown_bad.contains(&flat) {
+                    // A retired block with surviving programs goes to
+                    // the full list so GC can drain its valid pages;
+                    // an empty one leaves service entirely.
+                    if frontier > 0 {
+                        plane.full_blocks.push(b);
+                    }
+                } else if frontier == 0 {
+                    plane.free_blocks.push(b);
+                } else if frontier < g.pages_per_block && plane.open_block.is_none() {
+                    plane.open_block = Some(b);
+                } else {
+                    plane.full_blocks.push(b);
+                }
+            }
+        }
+
+        // Phase 5: commit the journal-proved tables. Validity bitmaps
+        // follow from the final mappings — everything else in a
+        // programmed block is dead and GC will reclaim it.
+        let mut mapped_pages = 0u64;
+        for (&lpn, &ppn) in &map {
+            let ppn = Ppn::new(ppn);
+            let addr = g.unpack(ppn);
+            // A journal record can only name a programmed page (the
+            // record is appended after the program and synced after
+            // that) — but never trust a torn world: drop anything the
+            // frontier disproves.
+            if addr.page >= self.flash.frontier(addr.block_addr()) {
+                debug_assert!(false, "journal mapped an unprogrammed page {ppn:?}");
+                continue;
+            }
+            self.mapping.update(Lpn::new(lpn), ppn);
+            self.mark_valid(ppn, PageContent::Data(Lpn::new(lpn)), summary.end_time);
+            mapped_pages += 1;
+        }
+        for (&tvpn, &ppn) in &trans {
+            let ppn = Ppn::new(ppn);
+            let addr = g.unpack(ppn);
+            if addr.page >= self.flash.frontier(addr.block_addr()) {
+                debug_assert!(false, "journal persisted an unprogrammed page {ppn:?}");
+                continue;
+            }
+            self.translation_ppns.insert(tvpn, ppn);
+            self.mark_valid(ppn, PageContent::Translation(tvpn), summary.end_time);
+        }
+
+        let mut iv_list: Vec<(u64, u64, u32)> = ivs
+            .into_iter()
+            .map(|(lpn, (base, ppa))| (lpn, base, ppa))
+            .collect();
+        iv_list.sort_unstable();
+        Ok(FtlRecovery {
+            records_replayed: summary.records_replayed,
+            torn_records: summary.torn_records,
+            pages_read: summary.pages_read,
+            clean_shutdown: summary.clean_shutdown,
+            max_epoch,
+            epoch_regressed,
+            mapped_pages,
+            ivs: iv_list,
+            end_time: summary.end_time,
+        })
     }
 
     /// Installs a deterministic fault plan on the underlying flash
@@ -676,6 +983,10 @@ impl Ftl {
         let start = monitor.switch_to(World::Secure, now);
         let (ppn, span) = self.program_fresh_page(start)?;
         let old = self.mapping.update(lpn, ppn);
+        self.journal_note(JournalRecord::MapUpdate {
+            lpn: lpn.raw(),
+            ppn: ppn.raw(),
+        });
         if let Requestor::Tee(tee) = requestor {
             // A fresh page written by a TEE belongs to that TEE.
             if old.is_none() {
@@ -836,6 +1147,10 @@ impl Ftl {
             Some(ppn) => {
                 self.invalidate(ppn);
                 let _ = self.cmt.update(lpn);
+                // The removal record becomes durable at the next sync
+                // point — until then a crash may resurrect the trimmed
+                // page, which matches TRIM's advisory semantics.
+                self.journal_note(JournalRecord::MapRemove { lpn: lpn.raw() });
                 true
             }
             None => false,
@@ -864,10 +1179,13 @@ impl Ftl {
             evicted.is_empty(),
             "translation programs do not touch the CMT"
         );
-        Ok(programmed
+        let end = programmed
             .iter()
             .map(|&(_, span)| span.end)
-            .fold(now, SimTime::max))
+            .fold(now, SimTime::max);
+        // A CMT flush is a durability point: every persisted
+        // translation page's record goes to flash with it.
+        self.journal_sync(end)
     }
 
     /// Total valid data pages (consistency checks and tests).
@@ -898,6 +1216,14 @@ impl Ftl {
 
     // ---- internals -----------------------------------------------------
 
+    /// Buffers `record` when journaling is enabled (internal mutation
+    /// sites).
+    fn journal_note(&mut self, record: JournalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(record);
+        }
+    }
+
     /// The flash cost of a CMT miss: read the stored translation page
     /// (if one was ever persisted) and account a dirty eviction.
     fn translation_miss_penalty(
@@ -927,6 +1253,10 @@ impl Ftl {
             self.invalidate(old);
         }
         self.mark_valid(ppn, PageContent::Translation(tvpn), span.end);
+        self.journal_note(JournalRecord::TransPersist {
+            tvpn,
+            ppn: ppn.raw(),
+        });
         Ok(span.end)
     }
 
@@ -1143,6 +1473,10 @@ impl Ftl {
                 match targets[idx] {
                     PageContent::Data(lpn) => {
                         let old = self.mapping.update(lpn, ppn);
+                        self.journal_note(JournalRecord::MapUpdate {
+                            lpn: lpn.raw(),
+                            ppn: ppn.raw(),
+                        });
                         if let (Some(tee), None) = (fresh_owner, old) {
                             // A fresh page written by a TEE belongs to
                             // that TEE.
@@ -1163,6 +1497,10 @@ impl Ftl {
                             self.invalidate(old);
                         }
                         self.mark_valid(ppn, PageContent::Translation(tvpn), span.end);
+                        self.journal_note(JournalRecord::TransPersist {
+                            tvpn,
+                            ppn: ppn.raw(),
+                        });
                     }
                 }
             }
@@ -1270,13 +1608,11 @@ impl Ftl {
         while self.planes[plane_idx].next_fresh < g.blocks_per_plane {
             let b = self.planes[plane_idx].next_fresh;
             self.planes[plane_idx].next_fresh += 1;
-            // A born/grown-bad block inside the fresh range is skipped
-            // here (and leaves the retired-fresh count as the cursor
-            // passes it).
-            if self
-                .grown_bad
-                .contains(&g.block_index(self.plane_block_addr(plane_idx, b)))
-            {
+            // A born/grown-bad or journal-reserved block inside the
+            // fresh range is skipped here (and leaves the retired-fresh
+            // count as the cursor passes it).
+            let flat = g.block_index(self.plane_block_addr(plane_idx, b));
+            if self.grown_bad.contains(&flat) || self.journal_reserved.contains(&flat) {
                 self.planes[plane_idx].retired_fresh -= 1;
                 continue;
             }
@@ -1406,9 +1742,17 @@ impl Ftl {
                 PageContent::Data(lpn) => {
                     self.mapping.update(lpn, new_ppn);
                     let _ = self.cmt.update(lpn);
+                    self.journal_note(JournalRecord::MapUpdate {
+                        lpn: lpn.raw(),
+                        ppn: new_ppn.raw(),
+                    });
                 }
                 PageContent::Translation(tvpn) => {
                     self.translation_ppns.insert(tvpn, new_ppn);
+                    self.journal_note(JournalRecord::TransPersist {
+                        tvpn,
+                        ppn: new_ppn.raw(),
+                    });
                 }
             }
             self.stats.gc_pages_moved += 1;
@@ -1418,6 +1762,11 @@ impl Ftl {
             // A retired victim is drained, never erased: it leaves the
             // plane's lists for good.
         } else {
+            // The relocation records (and anything else pending) must
+            // be durable *before* the erase: a crash between an
+            // unsynced move and the erase would leave the journal's
+            // last word pointing into the erased block.
+            t = self.journal_sync(t)?;
             match self.flash.erase_block(victim_addr, t) {
                 Ok(span) => {
                     self.planes[plane_idx].free_blocks.push(victim);
@@ -1534,15 +1883,26 @@ impl Ftl {
                 PageContent::Data(lpn) => {
                     self.mapping.update(lpn, new_ppn);
                     let _ = self.cmt.update(lpn);
+                    self.journal_note(JournalRecord::MapUpdate {
+                        lpn: lpn.raw(),
+                        ppn: new_ppn.raw(),
+                    });
                 }
                 PageContent::Translation(tvpn) => {
                     self.translation_ppns.insert(tvpn, new_ppn);
+                    self.journal_note(JournalRecord::TransPersist {
+                        tvpn,
+                        ppn: new_ppn.raw(),
+                    });
                 }
             }
         }
         self.blocks.remove(cold_idx);
         self.planes[plane_idx].full_blocks.push(hot);
         self.stats.wl_migrations += 1;
+        // Migration records must be durable before the source erase
+        // (same rule as the GC path).
+        t = self.journal_sync(t)?;
         match self.flash.erase_block(cold_addr, t) {
             Ok(span) => {
                 self.planes[plane_idx].free_blocks.push(cold);
@@ -1567,9 +1927,16 @@ impl Ftl {
     /// not.
     fn retire_block(&mut self, addr: BlockAddr, runtime: bool) {
         let g = self.flash.config().geometry;
-        if !self.grown_bad.insert(g.block_index(addr)) {
+        let flat = g.block_index(addr);
+        if self.journal_reserved.contains(&flat) {
+            // The journal manages its own bad blocks by skipping them;
+            // a reserved block never participates in plane accounting.
             return;
         }
+        if !self.grown_bad.insert(flat) {
+            return;
+        }
+        self.journal_note(JournalRecord::Retire { block: flat });
         if runtime {
             self.stats.blocks_retired += 1;
         }
@@ -1660,8 +2027,117 @@ mod tests {
         )
     }
 
+    fn journaled_setup() -> (Ftl, WorldMonitor) {
+        let config = FtlConfig {
+            journal_blocks: 4,
+            ..FtlConfig::default()
+        };
+        (
+            Ftl::new(FlashConfig::tiny(), config),
+            WorldMonitor::with_table5_cost(),
+        )
+    }
+
     fn tee(raw: u16) -> TeeId {
         TeeId::new(raw).unwrap()
+    }
+
+    #[test]
+    fn journal_reservation_spreads_across_planes_and_shrinks_free_count() {
+        let (ftl, _m) = journaled_setup();
+        let journal = ftl.journal().unwrap();
+        // tiny geometry has 4 planes: 4 reserved blocks land one per
+        // plane, each at the top of its plane's block range.
+        let planes: Vec<u32> = journal
+            .blocks()
+            .iter()
+            .map(|b| b.channel * 2 + b.die) // 2ch x 1chip x 2die x 1plane
+            .collect();
+        let mut sorted = planes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "one journal block per plane: {planes:?}");
+        assert!(journal.blocks().iter().all(|b| b.block == 7));
+        // Reserved blocks are excluded from allocation but are NOT
+        // grown-bad.
+        assert!(ftl.grown_bad_blocks().is_empty());
+    }
+
+    #[test]
+    fn synced_writes_survive_recovery_and_unsynced_ones_do_not() {
+        let (mut ftl, mut m) = journaled_setup();
+        let mut t = SimTime::ZERO;
+        for i in 0..6u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+        t = ftl.journal_sync(t).unwrap();
+        let synced_ppns: Vec<Ppn> = (0..6)
+            .map(|i| ftl.current_ppn(Lpn::new(i)).unwrap())
+            .collect();
+        // Two more writes whose records never reach flash.
+        for i in 6..8u64 {
+            t = ftl.write(Requestor::Host, Lpn::new(i), &mut m, t).unwrap();
+        }
+
+        let recovery = ftl.recover(t).unwrap();
+        assert_eq!(recovery.mapped_pages, 6);
+        assert!(!recovery.clean_shutdown);
+        assert!(!recovery.epoch_regressed);
+        assert!(recovery.records_replayed >= 6);
+        for (i, &ppn) in synced_ppns.iter().enumerate() {
+            assert_eq!(ftl.current_ppn(Lpn::new(i as u64)), Some(ppn));
+        }
+        assert_eq!(ftl.current_ppn(Lpn::new(6)), None);
+        assert_eq!(ftl.current_ppn(Lpn::new(7)), None);
+        // The rebuilt device still serves reads and writes.
+        let end = recovery.end_time;
+        ftl.read(Requestor::Host, Lpn::new(0), &mut m, end).unwrap();
+        ftl.write(Requestor::Host, Lpn::new(100), &mut m, end)
+            .unwrap();
+    }
+
+    #[test]
+    fn recovery_clears_tee_ownership() {
+        let (mut ftl, mut m) = journaled_setup();
+        let t = ftl
+            .write(Requestor::Host, Lpn::new(1), &mut m, SimTime::ZERO)
+            .unwrap();
+        ftl.set_id_bits(&[Lpn::new(1)], tee(3)).unwrap();
+        let t = ftl.journal_sync(t).unwrap();
+        let recovery = ftl.recover(t).unwrap();
+        // Sessions die with the power; storage ownership resets: the
+        // old TEE id no longer grants access, the host still reads.
+        let end = recovery.end_time;
+        assert!(matches!(
+            ftl.read(Requestor::Tee(tee(3)), Lpn::new(1), &mut m, end),
+            Err(FtlError::AccessDenied { .. })
+        ));
+        ftl.read(Requestor::Host, Lpn::new(1), &mut m, end).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_journal_rebuilds_empty() {
+        let (mut ftl, mut m) = setup();
+        let t = ftl
+            .write(Requestor::Host, Lpn::new(5), &mut m, SimTime::ZERO)
+            .unwrap();
+        let recovery = ftl.recover(t).unwrap();
+        assert_eq!(recovery.records_replayed, 0);
+        assert_eq!(recovery.mapped_pages, 0);
+        assert_eq!(ftl.current_ppn(Lpn::new(5)), None);
+    }
+
+    #[test]
+    fn trim_is_durable_after_sync() {
+        let (mut ftl, mut m) = journaled_setup();
+        let t = ftl
+            .write(Requestor::Host, Lpn::new(9), &mut m, SimTime::ZERO)
+            .unwrap();
+        ftl.trim(Requestor::Host, Lpn::new(9)).unwrap();
+        let t = ftl.journal_sync(t).unwrap();
+        let recovery = ftl.recover(t).unwrap();
+        assert_eq!(recovery.mapped_pages, 0);
+        assert_eq!(ftl.current_ppn(Lpn::new(9)), None);
     }
 
     #[test]

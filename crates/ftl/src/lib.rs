@@ -57,10 +57,12 @@ pub mod wfq;
 
 pub use cmt::{CachedMappingTable, CmtLookup};
 pub use ftl::{
-    BatchPageRead, BatchPageWrite, Ftl, FtlConfig, FtlError, FtlStats, Requestor, Translation,
-    WriteBatchOutcome,
+    BatchPageRead, BatchPageWrite, Ftl, FtlConfig, FtlError, FtlRecovery, FtlStats, Requestor,
+    Translation, WriteBatchOutcome,
 };
-pub use iceclave_flash::{FaultInjector, FaultPlan, FlashError, ReadFault};
+pub use iceclave_flash::{
+    FaultInjector, FaultPlan, FlashError, JournalRecord, MetadataJournal, ReadFault,
+};
 pub use mapping::{MappingEntry, MappingTable};
 pub use scheduler::{ChannelScheduler, QueuedOp, ScheduledItem};
 pub use wfq::{IssueGrant, SchedPolicy, TicketPolicy, WfqArbiter, MAX_TICKET_WEIGHT, MAX_WEIGHT};

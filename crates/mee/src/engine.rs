@@ -390,6 +390,11 @@ pub struct MeeEngine {
     /// Latched when a MAC mismatch survived the home-walk fallback
     /// (tampering); consumed by [`MeeEngine::take_tamper_event`].
     tampered: bool,
+    /// Monotone counter-state epoch: bumped once per acknowledged
+    /// write batch and sealed into the metadata journal, so recovery
+    /// can reject a rolled-back (stale) counter image. Never decreases
+    /// over a device's lifetime, including across reboots.
+    counter_epoch: u64,
 }
 
 impl MeeEngine {
@@ -417,7 +422,29 @@ impl MeeEngine {
             stats: MeeStats::default(),
             mac_faults: None,
             tampered: false,
+            counter_epoch: 0,
         }
+    }
+
+    /// The current counter-state epoch.
+    pub fn counter_epoch(&self) -> u64 {
+        self.counter_epoch
+    }
+
+    /// Advances the counter-state epoch by one and returns the new
+    /// value. Called once per acknowledged write batch, immediately
+    /// before the epoch is sealed into the metadata journal.
+    pub fn advance_counter_epoch(&mut self) -> u64 {
+        self.counter_epoch += 1;
+        self.counter_epoch
+    }
+
+    /// Restores the epoch from the highest journal seal during
+    /// recovery. The caller (the recovery path) is responsible for
+    /// rejecting regressions before calling this; the engine itself
+    /// only ever moves the epoch forward.
+    pub fn restore_counter_epoch(&mut self, epoch: u64) {
+        self.counter_epoch = self.counter_epoch.max(epoch);
     }
 
     /// Installs a deterministic L2 MAC-check fault schedule (replacing

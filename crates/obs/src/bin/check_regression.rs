@@ -18,6 +18,8 @@
 //! must fail on each; it must also pass each baseline against itself.
 //! Exit code 1 if either expectation breaks.
 
+#![deny(clippy::unwrap_used)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 

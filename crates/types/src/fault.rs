@@ -10,6 +10,7 @@
 //! without any stringly-typed glue.
 
 use crate::addr::Ppn;
+use crate::time::SimDuration;
 
 /// Why a page terminally failed after recovery was exhausted.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -93,6 +94,33 @@ impl FaultStats {
     pub fn is_quiet(&self) -> bool {
         *self == FaultStats::default()
     }
+}
+
+/// What one reboot-and-replay pass recovered (and gave up on).
+///
+/// Produced by `IceClave::recover` after a power cut (or a clean
+/// shutdown) and carried into `RunResult` so crash sweeps
+/// (`benches/crash_recovery.rs`) can report replay cost alongside the
+/// durability outcome.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub struct RecoveryStats {
+    /// True when the journal's last record was a clean-shutdown seal:
+    /// the boot took the fast path and replayed no dirty state.
+    pub clean_boot: bool,
+    /// Journal records re-applied to rebuild the mapping, grown-bad
+    /// and counter-epoch state.
+    pub records_replayed: u64,
+    /// Records discarded as the torn tail — appended but not fully
+    /// durable when the power failed.
+    pub torn_records: u64,
+    /// Journal pages read back during replay.
+    pub pages_read: u64,
+    /// In-flight (never-acknowledged) pages the crash destroyed; the
+    /// durability contract never covered them.
+    pub pages_lost: u64,
+    /// Simulated time the reboot spent reading and replaying the
+    /// journal.
+    pub recovery_time: SimDuration,
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ pub mod time;
 
 pub use addr::{CacheLine, Lpn, PhysAddr, Ppn};
 pub use attrib::TicketAttribution;
-pub use fault::{FaultStats, PageError, PageErrorCause};
+pub use fault::{FaultStats, PageError, PageErrorCause, RecoveryStats};
 pub use freq::Hertz;
 pub use hash::{FastMap, FastSet, FxHasher};
 pub use request::{
